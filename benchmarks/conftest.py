@@ -1,0 +1,6 @@
+"""Make the shared harness importable when pytest collects benchmarks/."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,64 @@
+"""Forum engagement: explore with SQL, predict with PQL, explain the model.
+
+The workflow the keynote sketches for an analyst:
+
+1. **Explore** the relational data with ordinary SQL (the engine ships
+   a small SELECT dialect);
+2. **Predict** declaratively — "will this user post again within two
+   weeks?" — with one PQL query;
+3. **Explain** the trained model in the schema's own vocabulary:
+   which foreign-key relationships drive its predictions?
+
+Run:  python examples/forum_engagement_analysis.py
+"""
+
+from repro.datasets import make_forum
+from repro.eval import make_temporal_split
+from repro.pql import PlannerConfig, PredictiveQueryPlanner, explain_relations
+from repro.relational import execute_sql
+
+DAY = 86400
+QUERY = "PREDICT COUNT(posts) > 0 FOR EACH users.id ASSUMING HORIZON 14 DAYS"
+
+
+def main() -> None:
+    db = make_forum(num_users=250, seed=0)
+
+    print("Step 1 — explore with SQL:")
+    top_topics = execute_sql(
+        db,
+        "SELECT topic, COUNT(*) AS posts FROM posts GROUP BY topic ORDER BY posts DESC LIMIT 3",
+    )
+    for row in top_topics.iter_rows():
+        print(f"  topic {row['topic']:<10} {int(row['posts']):>6} posts")
+    most_voted = execute_sql(
+        db,
+        "SELECT posts.user_id, COUNT(*) AS votes FROM votes "
+        "JOIN posts ON votes.post_id = posts.id "
+        "GROUP BY posts.user_id ORDER BY votes DESC LIMIT 3",
+    )
+    print("  most-voted authors:", [
+        (row["user_id"], int(row["votes"])) for row in most_voted.iter_rows()
+    ])
+
+    print(f"\nStep 2 — predict declaratively:\n  {QUERY}")
+    start, end = db.time_span()
+    split = make_temporal_split(start, end, horizon_seconds=14 * DAY, num_train_cutoffs=3)
+    planner = PredictiveQueryPlanner(db, PlannerConfig(hidden_dim=32, num_layers=2, epochs=15))
+    model = planner.fit(QUERY, split)
+    metrics = model.evaluate(split.test_cutoff)
+    print(f"  test AUROC = {metrics['auroc']:.3f}  (positive rate {metrics['positive_rate']:.2f})")
+
+    print("\nStep 3 — explain: which relations does the model rely on?")
+    keys = db["users"]["id"].values[:60]
+    importances = explain_relations(model, keys, split.test_cutoff)
+    for relation, delta in list(importances.items())[:6]:
+        print(f"  {relation:<40} Δprediction = {delta:.4f}")
+    print(
+        "\n(The user←posts relation should dominate: recent posting and the"
+        "\n votes those posts attracted are the planted drivers of engagement.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

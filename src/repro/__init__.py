@@ -1,0 +1,58 @@
+"""repro — Databases as graphs: predictive queries for declarative ML.
+
+A from-scratch reproduction of the PODS 2023 keynote vision (Jure
+Leskovec, "Databases as Graphs: Predictive Queries for Declarative
+Machine Learning"), later realized as RelBench / Relational Deep
+Learning.
+
+The sixty-second tour::
+
+    from repro.datasets import make_ecommerce
+    from repro.eval import make_temporal_split
+    from repro.pql import PredictiveQueryPlanner
+
+    db = make_ecommerce()                           # a relational database
+    span = db.time_span()
+    split = make_temporal_split(span[0], span[1], horizon_seconds=30 * 86400)
+
+    planner = PredictiveQueryPlanner(db)
+    model = planner.fit(
+        "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+        "ASSUMING HORIZON 30 DAYS",
+        split,
+    )
+    print(model.evaluate(split.test_cutoff))        # {'auroc': ..., ...}
+
+Sub-packages:
+
+======================  ====================================================
+``repro.relational``    typed column store, schemas, relational algebra
+``repro.pql``           the Predictive Query Language and its compiler
+``repro.graph``         DB→heterogeneous-temporal-graph compiler + sampler
+``repro.nn``            numpy autograd, layers, losses, optimizers
+``repro.gnn``           heterogeneous GNNs and trainers
+``repro.baselines``     manual features, GBDT, linear models, heuristics
+``repro.datasets``      synthetic relational datasets with planted signal
+``repro.eval``          metrics and temporal splits
+======================  ====================================================
+"""
+
+__version__ = "1.0.0"
+
+from repro.relational import Database, Table, TableSchema, ColumnSpec, ForeignKey, DType
+from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
+from repro.eval import make_temporal_split
+
+__all__ = [
+    "Database",
+    "Table",
+    "TableSchema",
+    "ColumnSpec",
+    "ForeignKey",
+    "DType",
+    "PredictiveQueryPlanner",
+    "PlannerConfig",
+    "parse",
+    "make_temporal_split",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baselines: the manual-feature-engineering pipeline the paper argues against.
+
+* :mod:`repro.baselines.features` — the hand-written windowed
+  aggregates an analyst would produce to flatten the schema into one
+  table;
+* :mod:`repro.baselines.trees` — gradient-boosted decision trees from
+  scratch (histogram splits, logistic and squared loss);
+* :mod:`repro.baselines.linear` — ridge and logistic regression;
+* :mod:`repro.baselines.heuristics` — trivial reference points
+  (base rate, global mean, popularity ranking);
+* :mod:`repro.baselines.mf` — BPR matrix factorization for the link
+  task.
+"""
+
+from repro.baselines.features import FeatureBuilder
+from repro.baselines.trees import DecisionTreeRegressor, GradientBoostingClassifier, GradientBoostingRegressor
+from repro.baselines.linear import LinearRegression, LogisticRegression
+from repro.baselines.heuristics import GlobalMeanBaseline, MajorityClassBaseline, PopularityRanker
+from repro.baselines.mf import BPRMatrixFactorization
+
+__all__ = [
+    "FeatureBuilder",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "LinearRegression",
+    "LogisticRegression",
+    "MajorityClassBaseline",
+    "GlobalMeanBaseline",
+    "PopularityRanker",
+    "BPRMatrixFactorization",
+]

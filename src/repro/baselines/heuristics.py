@@ -1,0 +1,71 @@
+"""Trivial reference baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MajorityClassBaseline", "GlobalMeanBaseline", "PopularityRanker"]
+
+
+class MajorityClassBaseline:
+    """Predicts the training base rate for every example (binary tasks).
+
+    AUROC of this baseline is 0.5 by construction; it anchors the
+    classification tables.
+    """
+
+    def __init__(self) -> None:
+        self.rate_: Optional[float] = None
+
+    def fit(self, y: np.ndarray) -> "MajorityClassBaseline":
+        """Record the positive rate."""
+        y = np.asarray(y, dtype=np.float64)
+        self.rate_ = float(y.mean()) if len(y) else 0.5
+        return self
+
+    def predict_proba(self, n: int) -> np.ndarray:
+        """Constant probabilities, shape (n,)."""
+        if self.rate_ is None:
+            raise RuntimeError("baseline not fitted")
+        return np.full(n, self.rate_)
+
+
+class GlobalMeanBaseline:
+    """Predicts the training target mean for every example (regression)."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[float] = None
+
+    def fit(self, y: np.ndarray) -> "GlobalMeanBaseline":
+        """Record the target mean."""
+        y = np.asarray(y, dtype=np.float64)
+        self.mean_ = float(y.mean()) if len(y) else 0.0
+        return self
+
+    def predict(self, n: int) -> np.ndarray:
+        """Constant predictions, shape (n,)."""
+        if self.mean_ is None:
+            raise RuntimeError("baseline not fitted")
+        return np.full(n, self.mean_)
+
+
+class PopularityRanker:
+    """Ranks items by their global interaction count (link tasks)."""
+
+    def __init__(self, num_items: int) -> None:
+        self.num_items = num_items
+        self.scores_: Optional[np.ndarray] = None
+
+    def fit(self, item_ids: np.ndarray) -> "PopularityRanker":
+        """Count interactions per item from training pairs."""
+        counts = np.bincount(np.asarray(item_ids, dtype=np.int64), minlength=self.num_items)
+        self.scores_ = counts.astype(np.float64)
+        return self
+
+    def score_all(self, num_queries: int) -> np.ndarray:
+        """Same popularity scores for every query: (num_queries, num_items)."""
+        if self.scores_ is None:
+            raise RuntimeError("ranker not fitted")
+        return np.tile(self.scores_, (num_queries, 1))

@@ -1,0 +1,108 @@
+"""Ridge linear regression and L2-regularized logistic regression.
+
+Both standardize features internally (NaN → 0 after standardization,
+with the caller expected to provide missing-indicator columns if
+missingness is informative — :class:`~repro.baselines.features.FeatureBuilder`
+does).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearRegression", "LogisticRegression"]
+
+
+class _Standardizer:
+    def fit(self, x: np.ndarray) -> "_Standardizer":
+        finite = np.isfinite(x)
+        safe = np.where(finite, x, 0.0)
+        counts = np.maximum(finite.sum(axis=0), 1)
+        self.mean_ = safe.sum(axis=0) / counts
+        centered = np.where(finite, x - self.mean_, 0.0)
+        self.std_ = np.sqrt((centered**2).sum(axis=0) / counts)
+        self.std_[self.std_ < 1e-12] = 1.0
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        z = (x - self.mean_) / self.std_
+        return np.where(np.isfinite(z), z, 0.0)
+
+
+class LinearRegression:
+    """Ridge regression solved in closed form (normal equations)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_ = 0.0
+        self._scaler = _Standardizer()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit on (n, d) features and (n,) targets."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        z = self._scaler.fit(x).transform(x)
+        n, d = z.shape
+        self.intercept_ = float(y.mean()) if n else 0.0
+        centered_y = y - self.intercept_
+        gram = z.T @ z + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, z.T @ centered_y) if d else np.empty(0)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted values, shape (n,)."""
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        z = self._scaler.transform(np.asarray(x, dtype=np.float64))
+        return z @ self.coef_ + self.intercept_
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with full-batch Newton (IRLS)."""
+
+    def __init__(self, alpha: float = 1.0, max_iter: int = 50, tol: float = 1e-8) -> None:
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_ = 0.0
+        self._scaler = _Standardizer()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Fit on (n, d) features and binary (n,) targets."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        z = self._scaler.fit(x).transform(x)
+        n, d = z.shape
+        design = np.column_stack([np.ones(n), z])
+        weights = np.zeros(d + 1)
+        penalty = self.alpha * np.eye(d + 1)
+        penalty[0, 0] = 0.0  # never penalize the intercept
+        for _ in range(self.max_iter):
+            raw = design @ weights
+            prob = 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
+            gradient = design.T @ (prob - y) + penalty @ weights
+            hessian_diag = np.maximum(prob * (1 - prob), 1e-9)
+            hessian = (design * hessian_diag[:, None]).T @ design + penalty
+            step = np.linalg.solve(hessian, gradient)
+            weights = weights - step
+            if float(np.abs(step).max()) < self.tol:
+                break
+        self.intercept_ = float(weights[0])
+        self.coef_ = weights[1:]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(positive class), shape (n,)."""
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        z = self._scaler.transform(np.asarray(x, dtype=np.float64))
+        raw = z @ self.coef_ + self.intercept_
+        return 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions at threshold 0.5."""
+        return (self.predict_proba(x) > 0.5).astype(np.float64)

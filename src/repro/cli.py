@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+::
+
+    python -m repro tasks
+        List the bundled datasets and their registered predictive-query
+        tasks.
+
+    python -m repro fit --dataset ecommerce --task churn [--epochs 15]
+        Generate the dataset, compile + train the task's registered PQL
+        query, and print test metrics.  ``--save DIR`` persists the
+        trained model.
+
+    python -m repro query --dataset forum "PREDICT COUNT(posts) > 0 FOR EACH users.id ASSUMING HORIZON 14 DAYS"
+        Fit an arbitrary PQL query against a generated dataset.
+
+    python -m repro sql --dataset ecommerce "SELECT COUNT(*) FROM orders"
+        Run a SQL SELECT against a generated dataset and print rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets import REGISTRY, get_dataset
+from repro.eval.splits import make_temporal_split
+from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
+from repro.relational.sql import execute_sql
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Databases as graphs: predictive queries for declarative ML",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="list datasets and their tasks")
+
+    def add_common(p):
+        p.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
+        p.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--epochs", type=int, default=15)
+        p.add_argument("--layers", type=int, default=2)
+        p.add_argument("--hidden", type=int, default=32)
+        p.add_argument("--conv", choices=["sage", "gat"], default="sage")
+
+    fit = sub.add_parser("fit", help="train a registered benchmark task")
+    add_common(fit)
+    fit.add_argument("--task", required=True, help="task name from `repro tasks`")
+    fit.add_argument("--save", help="directory to persist the trained model")
+
+    query = sub.add_parser("query", help="train an arbitrary PQL query")
+    add_common(query)
+    query.add_argument("pql", help="the PQL query string")
+    query.add_argument("--train-cutoffs", type=int, default=3, help="training snapshots")
+
+    sql = sub.add_parser("sql", help="run a SQL SELECT against a generated dataset")
+    sql.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
+    sql.add_argument("--scale", type=float, default=1.0)
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("statement", help="the SELECT statement")
+    sql.add_argument("--max-rows", type=int, default=20)
+    return parser
+
+
+def _cmd_tasks() -> int:
+    for name, spec in REGISTRY.items():
+        print(f"{name}:")
+        for task in spec.tasks:
+            print(f"  {task.name:<14} [{task.kind}, metric={task.metric}]")
+            print(f"    {task.query}")
+    return 0
+
+
+def _planner_config(args: argparse.Namespace) -> PlannerConfig:
+    return PlannerConfig(
+        hidden_dim=args.hidden,
+        num_layers=args.layers,
+        epochs=args.epochs,
+        seed=args.seed,
+        conv_type=args.conv,
+    )
+
+
+def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Optional[str]) -> int:
+    span = db.time_span()
+    horizon = parse(query_text).horizon_seconds
+    split = make_temporal_split(span[0], span[1], horizon, num_train_cutoffs=num_train_cutoffs)
+    print(f"query: {query_text}")
+    print(
+        f"split: {len(split.train_cutoffs)} train cutoffs, "
+        f"val@{split.val_cutoff}, test@{split.test_cutoff}"
+    )
+    planner = PredictiveQueryPlanner(db, _planner_config(args))
+    model = planner.fit(query_text, split)
+    print("test metrics:")
+    for name, value in model.evaluate(split.test_cutoff).items():
+        print(f"  {name:<20} {value:.4f}")
+    if save:
+        model.save(save)
+        print(f"model saved to {save}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    task = spec.task(args.task)
+    db = spec.build(scale=args.scale, seed=args.seed)
+    print(f"dataset {args.dataset} (scale {args.scale}): " + ", ".join(
+        f"{t.name}={t.num_rows}" for t in db
+    ))
+    return _fit_and_report(db, task.query, task.num_train_cutoffs, args, args.save)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    db = spec.build(scale=args.scale, seed=args.seed)
+    return _fit_and_report(db, args.pql, args.train_cutoffs, args, None)
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    db = spec.build(scale=args.scale, seed=args.seed)
+    result = execute_sql(db, args.statement)
+    print("  ".join(result.column_names))
+    for i, row in enumerate(result.iter_rows()):
+        if i >= args.max_rows:
+            print(f"... ({result.num_rows - args.max_rows} more rows)")
+            break
+        print("  ".join(str(row[name]) for name in result.column_names))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "tasks":
+        return _cmd_tasks()
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "sql":
+        return _cmd_sql(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

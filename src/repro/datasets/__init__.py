@@ -1,0 +1,37 @@
+"""Synthetic relational datasets with planted, temporally consistent signal.
+
+These stand in for the public relational datasets the keynote's
+pipeline targets (Amazon reviews, Stack Exchange, clinical trials…).
+Each generator produces a multi-table :class:`~repro.relational.Database`
+whose generative process plants a *known* predictive signal:
+
+* :mod:`repro.datasets.ecommerce` — customers/products/orders/reviews;
+  churn and spend are driven by a latent per-customer engagement state
+  that decays over time (recency/frequency signal, 1 hop) plus category
+  preferences (2 hops);
+* :mod:`repro.datasets.forum` — users/posts/votes/comments; future
+  posting is driven by the feedback (votes) a user's recent posts
+  received — a genuinely *two-hop* signal (user → posts → votes);
+* :mod:`repro.datasets.clinical` — patients/visits/diagnoses/
+  prescriptions; readmission risk is driven by chronic diagnosis codes
+  attached to past visits (two-hop) plus visit severity (one hop).
+
+:mod:`repro.datasets.base` registers each dataset together with its
+benchmark tasks (PQL strings) so the benchmark harness can iterate
+``for dataset in REGISTRY: ...``.
+"""
+
+from repro.datasets.base import DatasetSpec, TaskSpec, REGISTRY, get_dataset
+from repro.datasets.ecommerce import make_ecommerce
+from repro.datasets.forum import make_forum
+from repro.datasets.clinical import make_clinical
+
+__all__ = [
+    "DatasetSpec",
+    "TaskSpec",
+    "REGISTRY",
+    "get_dataset",
+    "make_ecommerce",
+    "make_forum",
+    "make_clinical",
+]

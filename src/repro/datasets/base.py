@@ -1,0 +1,181 @@
+"""Dataset registry: each dataset plus its benchmark tasks.
+
+The registry drives the benchmark harness: every Table 2/3/4 row is a
+(dataset, task) pair looked up here, with the task expressed purely as
+a PQL string — there is no task-specific code anywhere downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.eval.splits import TemporalSplit, make_temporal_split
+from repro.relational.database import Database
+
+__all__ = ["TaskSpec", "DatasetSpec", "REGISTRY", "get_dataset"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One benchmark task: a name, a PQL query, and the headline metric."""
+
+    name: str
+    query: str
+    metric: str
+    kind: str  # "binary" | "regression" | "link"
+    #: Training cutoffs to lay out before validation (temporal split).
+    num_train_cutoffs: int = 3
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset generator plus its registered tasks."""
+
+    name: str
+    builder: Callable[..., Database]
+    tasks: Tuple[TaskSpec, ...]
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> Database:
+        """Instantiate the database at a relative ``scale``."""
+        return self.builder(scale=scale, seed=seed)
+
+    def task(self, name: str) -> TaskSpec:
+        """Look up a task by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"dataset {self.name!r} has no task {name!r}")
+
+    def split_for(self, db: Database, task: TaskSpec, horizon_seconds: int) -> TemporalSplit:
+        """Default temporal split for a task over this database."""
+        span = db.time_span()
+        if span is None:
+            raise ValueError(f"dataset {self.name!r} has no temporal tables")
+        return make_temporal_split(
+            span[0], span[1], horizon_seconds, num_train_cutoffs=task.num_train_cutoffs
+        )
+
+
+def _build_ecommerce(scale: float = 1.0, seed: int = 0) -> Database:
+    from repro.datasets.ecommerce import make_ecommerce
+
+    return make_ecommerce(
+        num_customers=max(int(300 * scale), 30),
+        num_products=max(int(120 * scale), 12),
+        seed=seed,
+    )
+
+
+def _build_forum(scale: float = 1.0, seed: int = 0) -> Database:
+    from repro.datasets.forum import make_forum
+
+    return make_forum(num_users=max(int(250 * scale), 25), seed=seed)
+
+
+def _build_clinical(scale: float = 1.0, seed: int = 0) -> Database:
+    from repro.datasets.clinical import make_clinical
+
+    return make_clinical(num_patients=max(int(250 * scale), 25), seed=seed)
+
+
+REGISTRY: Dict[str, DatasetSpec] = {
+    "ecommerce": DatasetSpec(
+        name="ecommerce",
+        builder=_build_ecommerce,
+        tasks=(
+            TaskSpec(
+                name="churn",
+                query=(
+                    "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+                    "ASSUMING HORIZON 30 DAYS"
+                ),
+                metric="auroc",
+                kind="binary",
+            ),
+            TaskSpec(
+                name="spend",
+                query=(
+                    "PREDICT SUM(orders.amount) FOR EACH customers.id "
+                    "ASSUMING HORIZON 60 DAYS"
+                ),
+                metric="mae",
+                kind="regression",
+            ),
+            TaskSpec(
+                name="next_product",
+                query=(
+                    "PREDICT LIST(orders.product_id) FOR EACH customers.id "
+                    "ASSUMING HORIZON 30 DAYS"
+                ),
+                metric="mrr",
+                kind="link",
+                num_train_cutoffs=2,
+            ),
+        ),
+    ),
+    "forum": DatasetSpec(
+        name="forum",
+        builder=_build_forum,
+        tasks=(
+            TaskSpec(
+                name="engagement",
+                query=(
+                    "PREDICT COUNT(posts) > 0 FOR EACH users.id "
+                    "ASSUMING HORIZON 14 DAYS"
+                ),
+                metric="auroc",
+                kind="binary",
+            ),
+            TaskSpec(
+                name="post_votes",
+                query=(
+                    "PREDICT COUNT(votes) FOR EACH posts.id "
+                    "WHERE AGE < 14 DAYS ASSUMING HORIZON 14 DAYS"
+                ),
+                metric="mae",
+                kind="regression",
+            ),
+            TaskSpec(
+                name="votes_received",
+                query=(
+                    "PREDICT COUNT(votes VIA posts) FOR EACH users.id "
+                    "ASSUMING HORIZON 14 DAYS"
+                ),
+                metric="mae",
+                kind="regression",
+            ),
+        ),
+    ),
+    "clinical": DatasetSpec(
+        name="clinical",
+        builder=_build_clinical,
+        tasks=(
+            TaskSpec(
+                name="readmission",
+                query=(
+                    "PREDICT COUNT(visits) > 0 FOR EACH patients.id "
+                    "ASSUMING HORIZON 60 DAYS"
+                ),
+                metric="auroc",
+                kind="binary",
+            ),
+            TaskSpec(
+                name="visit_count",
+                query=(
+                    "PREDICT COUNT(visits) FOR EACH patients.id "
+                    "ASSUMING HORIZON 90 DAYS"
+                ),
+                metric="mae",
+                kind="regression",
+            ),
+        ),
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Registry lookup with a helpful error."""
+    if name not in REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(REGISTRY)}")
+    return REGISTRY[name]

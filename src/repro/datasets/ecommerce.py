@@ -1,0 +1,210 @@
+"""E-commerce dataset: customers, products, orders, reviews.
+
+Generative process (all latent, never stored in the database):
+
+* every product belongs to one of ``num_categories`` categories and
+  has a latent quality ~ N(0, 1); price is category-dependent;
+* every customer has a base order rate (lognormal), a category
+  preference (Dirichlet), and an *engagement state* that starts
+  engaged and lapses with a per-customer daily hazard; lapsed
+  customers place almost no further orders;
+* order products are drawn ∝ category preference × within-category
+  popularity (Zipf);
+* a fraction of orders produce reviews whose rating tracks the
+  product's latent quality.
+
+What this plants:
+
+* **churn** ("will the customer order in the next 30 days") is
+  predictable from recency/frequency of past orders — the engagement
+  state is hidden, but its footprint is the order history (1 hop);
+* **spend** (90-day SUM of amounts) adds the price level of the
+  preferred category (2 hops: customer → orders → products);
+* **next-product** (LIST) is predictable from category preference
+  revealed by past purchases plus global popularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.relational import (
+    Column,
+    ColumnSpec,
+    Database,
+    DType,
+    ForeignKey,
+    Table,
+    TableSchema,
+    days,
+)
+
+__all__ = ["make_ecommerce"]
+
+_DAY = 86400
+_REGIONS = ["na", "eu", "apac", "latam"]
+
+
+def make_ecommerce(
+    num_customers: int = 300,
+    num_products: int = 120,
+    num_categories: int = 6,
+    span_days: int = 360,
+    seed: int = 0,
+) -> Database:
+    """Build the e-commerce database.
+
+    Parameters scale the dataset; defaults run the full pipeline in
+    seconds.  The time span starts at epoch 0.
+    """
+    rng = np.random.default_rng(seed)
+    span = span_days * _DAY
+
+    # ---- products -----------------------------------------------------
+    product_category = rng.integers(0, num_categories, size=num_products)
+    category_price = np.exp(rng.normal(2.5, 0.6, size=num_categories))
+    product_price = category_price[product_category] * np.exp(rng.normal(0, 0.3, num_products))
+    product_quality = rng.normal(0, 1, num_products)
+    # Within-category popularity: Zipf-like weights.
+    popularity = 1.0 / (1.0 + rng.permutation(num_products).astype(np.float64))
+
+    # ---- customers ----------------------------------------------------
+    signup = rng.integers(0, span // 2, size=num_customers)
+    base_rate = np.exp(rng.normal(np.log(0.08), 0.7, size=num_customers))  # orders/day
+    lapse_hazard = np.exp(rng.normal(np.log(0.006), 0.8, size=num_customers))
+    preference = rng.dirichlet(np.full(num_categories, 0.5), size=num_customers)
+    region = rng.choice(_REGIONS, size=num_customers)
+    age = np.clip(rng.normal(40, 12, num_customers), 18, 90)
+
+    # Lapse time: exponential with the customer's hazard, after signup.
+    lapse_after = rng.exponential(1.0 / lapse_hazard) * _DAY
+    lapse_time = signup + lapse_after.astype(np.int64)
+
+    order_rows: Dict[str, List] = {
+        "id": [], "customer_id": [], "product_id": [], "quantity": [], "amount": [], "ts": []
+    }
+    review_rows: Dict[str, List] = {
+        "id": [], "customer_id": [], "product_id": [], "rating": [], "ts": []
+    }
+    category_products = [np.flatnonzero(product_category == c) for c in range(num_categories)]
+    category_pop = [popularity[idx] / popularity[idx].sum() for idx in category_products]
+
+    oid = rid = 0
+    for customer in range(num_customers):
+        t = float(signup[customer])
+        active_until = min(float(lapse_time[customer]), float(span))
+        rate_per_second = base_rate[customer] / _DAY
+        while True:
+            t += rng.exponential(1.0 / rate_per_second)
+            if t >= active_until:
+                break
+            category = rng.choice(num_categories, p=preference[customer])
+            pool = category_products[category]
+            if len(pool) == 0:
+                continue
+            product = int(rng.choice(pool, p=category_pop[category]))
+            quantity = int(rng.integers(1, 4))
+            amount = float(product_price[product] * quantity * np.exp(rng.normal(0, 0.05)))
+            order_rows["id"].append(oid)
+            order_rows["customer_id"].append(customer)
+            order_rows["product_id"].append(product)
+            order_rows["quantity"].append(quantity)
+            order_rows["amount"].append(round(amount, 2))
+            order_rows["ts"].append(int(t))
+            oid += 1
+            if rng.random() < 0.3:
+                rating = float(np.clip(3.0 + product_quality[product] + rng.normal(0, 0.7), 1, 5))
+                review_rows["id"].append(rid)
+                review_rows["customer_id"].append(customer)
+                review_rows["product_id"].append(product)
+                review_rows["rating"].append(round(rating, 1))
+                review_rows["ts"].append(int(t) + int(rng.integers(_DAY, 7 * _DAY)))
+                rid += 1
+
+    db = Database("ecommerce")
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "customers",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("region", DType.STRING),
+                    ColumnSpec("age", DType.FLOAT64),
+                    ColumnSpec("signup_ts", DType.TIMESTAMP),
+                ],
+                primary_key="id",
+                time_column="signup_ts",
+            ),
+            {
+                "id": list(range(num_customers)),
+                "region": region.tolist(),
+                "age": np.round(age, 1).tolist(),
+                "signup_ts": signup.tolist(),
+            },
+        )
+    )
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "products",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("category", DType.STRING),
+                    ColumnSpec("price", DType.FLOAT64),
+                ],
+                primary_key="id",
+            ),
+            {
+                "id": list(range(num_products)),
+                "category": [f"cat{c}" for c in product_category.tolist()],
+                "price": np.round(product_price, 2).tolist(),
+            },
+        )
+    )
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "orders",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("customer_id", DType.INT64),
+                    ColumnSpec("product_id", DType.INT64),
+                    ColumnSpec("quantity", DType.INT64),
+                    ColumnSpec("amount", DType.FLOAT64),
+                    ColumnSpec("ts", DType.TIMESTAMP),
+                ],
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey("customer_id", "customers", "id"),
+                    ForeignKey("product_id", "products", "id"),
+                ],
+                time_column="ts",
+            ),
+            order_rows,
+        )
+    )
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "reviews",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("customer_id", DType.INT64),
+                    ColumnSpec("product_id", DType.INT64),
+                    ColumnSpec("rating", DType.FLOAT64),
+                    ColumnSpec("ts", DType.TIMESTAMP),
+                ],
+                primary_key="id",
+                foreign_keys=[
+                    ForeignKey("customer_id", "customers", "id"),
+                    ForeignKey("product_id", "products", "id"),
+                ],
+                time_column="ts",
+            ),
+            review_rows,
+        )
+    )
+    db.validate()
+    return db

@@ -1,0 +1,34 @@
+"""Evaluation: metrics, temporal splits, and the experiment protocol."""
+
+from repro.eval.metrics import (
+    accuracy,
+    brier_score,
+    expected_calibration_error,
+    average_precision,
+    auroc,
+    f1_score,
+    hit_rate_at_k,
+    mae,
+    mrr,
+    ndcg_at_k,
+    r2_score,
+    rmse,
+)
+from repro.eval.splits import TemporalSplit, make_temporal_split
+
+__all__ = [
+    "auroc",
+    "average_precision",
+    "accuracy",
+    "brier_score",
+    "expected_calibration_error",
+    "f1_score",
+    "mae",
+    "rmse",
+    "r2_score",
+    "mrr",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "TemporalSplit",
+    "make_temporal_split",
+]

@@ -1,0 +1,213 @@
+"""Evaluation metrics for classification, regression, and ranking.
+
+All functions take plain numpy arrays and return python floats.
+Classification metrics take scores (probabilities or logits — only the
+ordering matters for ranking metrics like AUROC).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "auroc",
+    "average_precision",
+    "accuracy",
+    "f1_score",
+    "mae",
+    "rmse",
+    "r2_score",
+    "mrr",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "brier_score",
+    "expected_calibration_error",
+]
+
+
+def _binary_checked(y_true: np.ndarray, y_score: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_score = np.asarray(y_score, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+    return y_true, y_score
+
+
+def auroc(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formula.
+
+    Ties in scores receive mid-ranks.  Returns NaN if only one class is
+    present.
+    """
+    y_true, y_score = _binary_checked(y_true, y_score)
+    positives = y_true > 0.5
+    n_pos = int(positives.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(y_score, kind="stable")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    sorted_scores = y_score[order]
+    # Mid-ranks for ties.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[positives].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def average_precision(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve)."""
+    y_true, y_score = _binary_checked(y_true, y_score)
+    n_pos = int((y_true > 0.5).sum())
+    if n_pos == 0:
+        return float("nan")
+    order = np.argsort(-y_score, kind="stable")
+    sorted_true = y_true[order] > 0.5
+    cum_pos = np.cumsum(sorted_true)
+    precision = cum_pos / np.arange(1, len(sorted_true) + 1)
+    return float((precision * sorted_true).sum() / n_pos)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if len(y_true) == 0:
+        return float("nan")
+    return float((y_true == y_pred).mean())
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Binary F1 (positive class = 1); 0 when there are no predicted or true positives."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1) > 0.5
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1) > 0.5
+    tp = float((y_true & y_pred).sum())
+    fp = float((~y_true & y_pred).sum())
+    fn = float((y_true & ~y_pred).sum())
+    denom = 2 * tp + fp + fn
+    return float(2 * tp / denom) if denom > 0 else 0.0
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    return float(np.sqrt(((y_true - y_pred) ** 2).mean()))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; NaN for constant targets."""
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=np.float64).reshape(-1)
+    total = float(((y_true - y_true.mean()) ** 2).sum())
+    if total == 0:
+        return float("nan")
+    residual = float(((y_true - y_pred) ** 2).sum())
+    return float(1.0 - residual / total)
+
+
+def _rank_of_first_relevant(scores: np.ndarray, relevant: np.ndarray) -> int:
+    """1-based rank of the best-scored relevant item (0 if none)."""
+    if not relevant.any():
+        return 0
+    order = np.argsort(-scores, kind="stable")
+    positions = np.flatnonzero(relevant[order])
+    return int(positions[0]) + 1
+
+
+def mrr(score_lists: Sequence[np.ndarray], relevance_lists: Sequence[np.ndarray]) -> float:
+    """Mean reciprocal rank over queries.
+
+    Each query has a score array over its candidates and a boolean
+    relevance array of equal length.  Queries with no relevant
+    candidate contribute 0.
+    """
+    if len(score_lists) != len(relevance_lists):
+        raise ValueError("score and relevance lists must have equal length")
+    if len(score_lists) == 0:
+        return float("nan")
+    total = 0.0
+    for scores, relevant in zip(score_lists, relevance_lists):
+        rank = _rank_of_first_relevant(np.asarray(scores), np.asarray(relevant, dtype=bool))
+        total += 1.0 / rank if rank > 0 else 0.0
+    return float(total / len(score_lists))
+
+
+def hit_rate_at_k(
+    score_lists: Sequence[np.ndarray], relevance_lists: Sequence[np.ndarray], k: int
+) -> float:
+    """Fraction of queries with a relevant item in the top k."""
+    if len(score_lists) == 0:
+        return float("nan")
+    hits = 0
+    for scores, relevant in zip(score_lists, relevance_lists):
+        scores = np.asarray(scores)
+        relevant = np.asarray(relevant, dtype=bool)
+        top = np.argsort(-scores, kind="stable")[:k]
+        hits += int(relevant[top].any())
+    return float(hits / len(score_lists))
+
+
+def ndcg_at_k(
+    score_lists: Sequence[np.ndarray], relevance_lists: Sequence[np.ndarray], k: int
+) -> float:
+    """Normalized discounted cumulative gain at k (binary relevance)."""
+    if len(score_lists) == 0:
+        return float("nan")
+    total = 0.0
+    for scores, relevant in zip(score_lists, relevance_lists):
+        scores = np.asarray(scores)
+        relevant = np.asarray(relevant, dtype=np.float64)
+        top = np.argsort(-scores, kind="stable")[:k]
+        gains = relevant[top] / np.log2(np.arange(2, len(top) + 2))
+        ideal_count = min(int((relevant > 0).sum()), k)
+        if ideal_count == 0:
+            continue
+        ideal = (1.0 / np.log2(np.arange(2, ideal_count + 2))).sum()
+        total += float(gains.sum() / ideal)
+    return float(total / len(score_lists))
+
+
+def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean squared error of predicted probabilities (lower is better)."""
+    y_true, y_prob = _binary_checked(y_true, y_prob)
+    if len(y_true) == 0:
+        return float("nan")
+    return float(((y_prob - y_true) ** 2).mean())
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, y_prob: np.ndarray, num_bins: int = 10
+) -> float:
+    """ECE: confidence-weighted gap between predicted and empirical rates.
+
+    Probabilities are bucketed into ``num_bins`` equal-width bins; the
+    score is the bin-size-weighted mean |accuracy − confidence|.
+    """
+    y_true, y_prob = _binary_checked(y_true, y_prob)
+    if len(y_true) == 0:
+        return float("nan")
+    bins = np.clip((y_prob * num_bins).astype(int), 0, num_bins - 1)
+    total = 0.0
+    for b in range(num_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        confidence = y_prob[mask].mean()
+        empirical = y_true[mask].mean()
+        total += mask.sum() * abs(confidence - empirical)
+    return float(total / len(y_true))

@@ -1,0 +1,67 @@
+"""Temporal train/validation/test splits.
+
+Predictive queries are evaluated *forward in time*: training cutoffs
+precede the validation cutoff, which precedes the test cutoff, and
+every label window must close before the next split begins.  This
+mirrors RelBench's split protocol and is what makes the reported
+numbers honest — a random row split would leak future facts into
+training neighborhoods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TemporalSplit", "make_temporal_split"]
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """Cutoff schedule for one task.
+
+    ``train_cutoffs`` may contain several timestamps (each yields one
+    labeled snapshot per entity); validation and test are single
+    cutoffs.
+    """
+
+    train_cutoffs: Tuple[int, ...]
+    val_cutoff: int
+    test_cutoff: int
+
+    def __post_init__(self) -> None:
+        if not self.train_cutoffs:
+            raise ValueError("need at least one training cutoff")
+        if max(self.train_cutoffs) >= self.val_cutoff:
+            raise ValueError("validation cutoff must follow all training cutoffs")
+        if self.val_cutoff >= self.test_cutoff:
+            raise ValueError("test cutoff must follow the validation cutoff")
+
+
+def make_temporal_split(
+    start: int,
+    end: int,
+    horizon_seconds: int,
+    num_train_cutoffs: int = 3,
+) -> TemporalSplit:
+    """Lay out cutoffs over the data's time span.
+
+    The test cutoff is placed so its label window ``(test, test +
+    horizon]`` still fits inside ``end``; validation one horizon
+    earlier; training cutoffs are spaced one horizon apart before that.
+    Raises if the span is too short for the requested schedule.
+    """
+    if num_train_cutoffs < 1:
+        raise ValueError("num_train_cutoffs must be >= 1")
+    test_cutoff = end - horizon_seconds
+    val_cutoff = test_cutoff - horizon_seconds
+    first_train = val_cutoff - horizon_seconds * num_train_cutoffs
+    if first_train <= start:
+        raise ValueError(
+            f"time span [{start}, {end}] too short for {num_train_cutoffs} train cutoffs "
+            f"with horizon {horizon_seconds}"
+        )
+    train_cutoffs = tuple(
+        val_cutoff - horizon_seconds * (num_train_cutoffs - i) for i in range(num_train_cutoffs)
+    )
+    return TemporalSplit(train_cutoffs=train_cutoffs, val_cutoff=val_cutoff, test_cutoff=test_cutoff)

@@ -1,0 +1,31 @@
+"""Heterogeneous graph neural networks on the numpy autograd substrate.
+
+* :mod:`repro.gnn.scatter` — autograd-aware scatter aggregations
+  (sum / mean / max) that implement message passing;
+* :mod:`repro.gnn.conv` — relation-wise HeteroSAGE convolution;
+* :mod:`repro.gnn.models` — node encoders, the :class:`HeteroGNN`
+  predictor, and the two-tower link-prediction model;
+* :mod:`repro.gnn.trainer` — mini-batch training with temporal
+  neighbor sampling and early stopping.
+"""
+
+from repro.gnn.scatter import scatter_max, scatter_mean, scatter_sum, segment_softmax
+from repro.gnn.conv import HeteroGATConv, HeteroSAGEConv
+from repro.gnn.models import GraphMetadata, HeteroGNN, NodeEncoder, TwoTowerModel
+from repro.gnn.trainer import LinkTaskTrainer, NodeTaskTrainer, TrainConfig
+
+__all__ = [
+    "scatter_sum",
+    "scatter_mean",
+    "scatter_max",
+    "HeteroSAGEConv",
+    "HeteroGATConv",
+    "segment_softmax",
+    "GraphMetadata",
+    "NodeEncoder",
+    "HeteroGNN",
+    "TwoTowerModel",
+    "NodeTaskTrainer",
+    "LinkTaskTrainer",
+    "TrainConfig",
+]

@@ -1,0 +1,106 @@
+"""Autograd-aware scatter aggregations.
+
+Message passing reduces per-edge message vectors into per-node slots:
+``out[dst[e]] += message[e]``.  These functions build the reverse-mode
+closure by hand so the operation is a single vectorized
+``np.add.at`` / gather instead of a python loop over edges.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["scatter_sum", "scatter_mean", "scatter_max", "segment_softmax"]
+
+
+def _check(messages: Tensor, index: np.ndarray, num_targets: int) -> np.ndarray:
+    index = np.asarray(index, dtype=np.int64)
+    if messages.ndim != 2:
+        raise ValueError(f"messages must be 2-D (edges, dim), got shape {messages.shape}")
+    if index.shape != (messages.shape[0],):
+        raise ValueError(
+            f"index shape {index.shape} must match number of messages {messages.shape[0]}"
+        )
+    if index.size and (index.min() < 0 or index.max() >= num_targets):
+        raise IndexError(f"scatter index out of range [0, {num_targets})")
+    return index
+
+
+def scatter_sum(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
+    """Sum messages into ``num_targets`` slots: ``out[i] = Σ_{e: index[e]=i} m[e]``."""
+    index = _check(messages, index, num_targets)
+    data = np.zeros((num_targets, messages.shape[1]))
+    np.add.at(data, index, messages.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if messages.requires_grad:
+            messages._accumulate(np.asarray(grad)[index])
+
+    return Tensor._make(data, (messages,), backward)
+
+
+def scatter_mean(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
+    """Average messages per slot; empty slots stay zero."""
+    index = _check(messages, index, num_targets)
+    counts = np.bincount(index, minlength=num_targets).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    data = np.zeros((num_targets, messages.shape[1]))
+    np.add.at(data, index, messages.data)
+    data /= safe_counts[:, None]
+
+    def backward(grad: np.ndarray) -> None:
+        if messages.requires_grad:
+            scaled = np.asarray(grad) / safe_counts[:, None]
+            messages._accumulate(scaled[index])
+
+    return Tensor._make(data, (messages,), backward)
+
+
+def scatter_max(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
+    """Elementwise max per slot; empty slots are zero.
+
+    Gradient flows to every message element attaining the slot maximum
+    (split equally among ties).
+    """
+    index = _check(messages, index, num_targets)
+    data = np.full((num_targets, messages.shape[1]), -np.inf)
+    np.maximum.at(data, index, messages.data)
+    empty = ~np.isfinite(data)
+    data = np.where(empty, 0.0, data)
+
+    def backward(grad: np.ndarray) -> None:
+        if not messages.requires_grad:
+            return
+        grad = np.asarray(grad)
+        is_max = (messages.data == data[index]) & ~empty[index]
+        tie_counts = np.zeros((num_targets, messages.shape[1]))
+        np.add.at(tie_counts, index, is_max.astype(np.float64))
+        tie_counts = np.maximum(tie_counts, 1.0)
+        messages._accumulate(np.where(is_max, grad[index] / tie_counts[index], 0.0))
+
+    return Tensor._make(data, (messages,), backward)
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
+    """Softmax of per-edge scores within each destination segment.
+
+    ``scores`` is (E, 1); edges sharing ``index[e]`` form one segment
+    and their outputs sum to 1.  Numerically stabilized by subtracting
+    the per-segment maximum.  Built entirely from differentiable ops,
+    so gradients flow through attention coefficients.
+    """
+    index = _check(scores, index, num_targets)
+    if scores.shape[1] != 1:
+        raise ValueError(f"segment_softmax expects (E, 1) scores, got {scores.shape}")
+    # Per-segment max, gathered back to edges (treated as a constant in
+    # the backward pass — standard for stabilized softmax).
+    seg_max = np.zeros((num_targets, 1))
+    np.maximum.at(seg_max, index, scores.data)
+    shifted = scores - Tensor(seg_max[index])
+    exp = shifted.exp()
+    denominator = scatter_sum(exp, index, num_targets)
+    safe = denominator + Tensor(np.where(denominator.data <= 0, 1.0, 0.0))
+    return exp / safe.take(index)

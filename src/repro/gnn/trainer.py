@@ -1,0 +1,354 @@
+"""Mini-batch training of node-level predictive tasks.
+
+The trainer owns the loop the predictive-query planner compiles to:
+shuffle seeds, sample a time-respecting subgraph per batch, forward,
+loss, backward, clip, step — with early stopping on validation loss and
+best-weight restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gnn.models import HeteroGNN, TwoTowerModel
+from repro.graph.hetero import HeteroGraph
+from repro.graph.sampler import NeighborSampler
+from repro.nn.losses import binary_cross_entropy_with_logits, bpr_loss, cross_entropy, mse_loss
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import no_grad
+
+__all__ = ["TrainConfig", "NodeTaskTrainer", "LinkTaskTrainer"]
+
+_TASK_TYPES = ("binary", "multiclass", "regression")
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :class:`NodeTaskTrainer`."""
+
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 5e-3
+    weight_decay: float = 1e-5
+    patience: int = 5
+    clip_norm: float = 5.0
+    seed: int = 0
+
+
+@dataclass
+class _History:
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+
+class NodeTaskTrainer:
+    """Trains a :class:`~repro.gnn.models.HeteroGNN` on one node task.
+
+    Parameters
+    ----------
+    model:
+        The GNN; its ``out_dim`` must match the task (1 for binary and
+        regression, C for multiclass).
+    graph:
+        The full heterogeneous graph.
+    sampler:
+        Time-respecting sampler whose depth should equal the model's
+        message-passing depth.
+    task_type:
+        ``"binary"``, ``"multiclass"``, or ``"regression"``.
+    config:
+        Loop hyperparameters.
+    """
+
+    def __init__(
+        self,
+        model: HeteroGNN,
+        graph: HeteroGraph,
+        sampler: NeighborSampler,
+        task_type: str,
+        config: Optional[TrainConfig] = None,
+        pos_weight: Optional[float] = None,
+    ) -> None:
+        if task_type not in _TASK_TYPES:
+            raise ValueError(f"task_type must be one of {_TASK_TYPES}, got {task_type!r}")
+        self.model = model
+        self.graph = graph
+        self.sampler = sampler
+        self.task_type = task_type
+        self.config = config or TrainConfig()
+        #: Weight on the positive-class BCE term (binary tasks only).
+        self.pos_weight = pos_weight
+        self.history = _History()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        seed_type: str,
+        train_ids: np.ndarray,
+        train_times: np.ndarray,
+        train_labels: np.ndarray,
+        val_ids: Optional[np.ndarray] = None,
+        val_times: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> _History:
+        """Train with early stopping; returns the loss history.
+
+        Regression targets are standardized with train statistics (and
+        de-standardized at prediction time).
+        """
+        train_labels = self._prepare_targets(train_labels, fit=True)
+        if val_labels is not None:
+            val_labels = self._prepare_targets(val_labels, fit=False)
+        optimizer = Adam(
+            self.model.parameters(),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+        best_val = np.inf
+        best_state = self.model.state_dict()
+        epochs_without_improvement = 0
+
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            order = self._rng.permutation(len(train_ids))
+            epoch_losses = []
+            for start in range(0, len(order), self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                loss = self._batch_loss(
+                    seed_type, train_ids[batch], train_times[batch], train_labels[batch]
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.history.train_loss.append(float(np.mean(epoch_losses)))
+
+            if val_ids is None:
+                continue
+            val_loss = self._evaluate_loss(seed_type, val_ids, val_times, val_labels)
+            self.history.val_loss.append(val_loss)
+            if val_loss < best_val - 1e-6:
+                best_val = val_loss
+                best_state = self.model.state_dict()
+                self.history.best_epoch = epoch
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= self.config.patience:
+                    break
+
+        if val_ids is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return self.history
+
+    def _prepare_targets(self, labels: np.ndarray, fit: bool) -> np.ndarray:
+        if self.task_type == "multiclass":
+            return np.asarray(labels, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if self.task_type == "regression":
+            if fit:
+                self._target_mean = float(labels.mean())
+                self._target_std = float(labels.std()) or 1.0
+            return (labels - self._target_mean) / self._target_std
+        return labels
+
+    def _batch_loss(self, seed_type, ids, times, labels):
+        subgraph = self.sampler.sample(seed_type, ids, times)
+        outputs = self.model(subgraph, self.graph)
+        if self.task_type == "binary":
+            return binary_cross_entropy_with_logits(
+                outputs.reshape(len(ids)), labels, pos_weight=self.pos_weight
+            )
+        if self.task_type == "multiclass":
+            return cross_entropy(outputs, labels)
+        return mse_loss(outputs.reshape(len(ids)), labels)
+
+    def _evaluate_loss(self, seed_type, ids, times, labels) -> float:
+        self.model.eval()
+        losses = []
+        weights = []
+        with no_grad():
+            for start in range(0, len(ids), self.config.batch_size):
+                stop = start + self.config.batch_size
+                loss = self._batch_loss(seed_type, ids[start:stop], times[start:stop], labels[start:stop])
+                losses.append(loss.item())
+                weights.append(min(stop, len(ids)) - start)
+        return float(np.average(losses, weights=weights))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, seed_type: str, ids: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Model predictions for the given seeds.
+
+        Binary → probability of the positive class, shape (n,).
+        Multiclass → class probabilities, shape (n, C).
+        Regression → de-standardized values, shape (n,).
+        """
+        self.model.eval()
+        # Deterministic inference: prediction must not depend on how many
+        # random draws training consumed (important for save/load parity).
+        self.sampler.rng = np.random.default_rng(self.config.seed + 9999)
+        outputs: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(ids), self.config.batch_size):
+                stop = start + self.config.batch_size
+                subgraph = self.sampler.sample(seed_type, ids[start:stop], times[start:stop])
+                raw = self.model(subgraph, self.graph)
+                if self.task_type == "binary":
+                    outputs.append(raw.reshape(len(raw)).sigmoid().data)
+                elif self.task_type == "multiclass":
+                    outputs.append(raw.softmax(axis=-1).data)
+                else:
+                    outputs.append(
+                        raw.reshape(len(raw)).data * self._target_std + self._target_mean
+                    )
+        return np.concatenate(outputs) if outputs else np.empty(0)
+
+
+class LinkTaskTrainer:
+    """Trains a :class:`~repro.gnn.models.TwoTowerModel` with BPR loss.
+
+    Training examples are (query entity, seed time, positive item)
+    triples; each step samples ``num_negatives`` uniform negative items
+    per positive and minimizes the Bayesian-personalized-ranking loss
+    between the positive score and each negative score.
+    """
+
+    def __init__(
+        self,
+        model: TwoTowerModel,
+        graph: HeteroGraph,
+        sampler: NeighborSampler,
+        config: Optional[TrainConfig] = None,
+        num_negatives: int = 4,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.sampler = sampler
+        self.config = config or TrainConfig()
+        self.num_negatives = num_negatives
+        self.history = _History()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._num_items = graph.num_nodes(model.item_type)
+
+    def fit(
+        self,
+        seed_type: str,
+        query_ids: np.ndarray,
+        query_times: np.ndarray,
+        pos_item_ids: np.ndarray,
+        val_query_ids: Optional[np.ndarray] = None,
+        val_query_times: Optional[np.ndarray] = None,
+        val_pos_item_ids: Optional[np.ndarray] = None,
+    ) -> _History:
+        """Train on positive (query, item) pairs with sampled negatives."""
+        optimizer = Adam(
+            self.model.parameters(),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+        best_val = np.inf
+        best_state = self.model.state_dict()
+        stale = 0
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            order = self._rng.permutation(len(query_ids))
+            losses = []
+            for start in range(0, len(order), self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                loss = self._batch_loss(
+                    seed_type, query_ids[batch], query_times[batch], pos_item_ids[batch]
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            self.history.train_loss.append(float(np.mean(losses)))
+
+            if val_query_ids is None:
+                continue
+            val_loss = self._evaluate_loss(
+                seed_type, val_query_ids, val_query_times, val_pos_item_ids
+            )
+            self.history.val_loss.append(val_loss)
+            if val_loss < best_val - 1e-6:
+                best_val = val_loss
+                best_state = self.model.state_dict()
+                self.history.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.config.patience:
+                    break
+        if val_query_ids is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return self.history
+
+    def _batch_loss(self, seed_type, query_ids, query_times, pos_items):
+        subgraph = self.sampler.sample(seed_type, query_ids, query_times)
+        queries = self.model.query_embeddings(subgraph, self.graph)
+        pos_embed = self.model.item_embeddings(pos_items, self.graph)
+        pos_scores = self.model.score_pairs(queries, pos_embed)
+        total = None
+        for _ in range(self.num_negatives):
+            negatives = self._rng.integers(0, self._num_items, size=len(query_ids))
+            neg_embed = self.model.item_embeddings(negatives, self.graph)
+            neg_scores = self.model.score_pairs(queries, neg_embed)
+            term = bpr_loss(pos_scores, neg_scores)
+            total = term if total is None else total + term
+        return total * (1.0 / self.num_negatives)
+
+    def _evaluate_loss(self, seed_type, query_ids, query_times, pos_items) -> float:
+        self.model.eval()
+        losses, weights = [], []
+        with no_grad():
+            for start in range(0, len(query_ids), self.config.batch_size):
+                stop = start + self.config.batch_size
+                loss = self._batch_loss(
+                    seed_type,
+                    query_ids[start:stop],
+                    query_times[start:stop],
+                    pos_items[start:stop],
+                )
+                losses.append(loss.item())
+                weights.append(min(stop, len(query_ids)) - start)
+        return float(np.average(losses, weights=weights))
+
+    def score_against_items(
+        self,
+        seed_type: str,
+        query_ids: np.ndarray,
+        query_times: np.ndarray,
+        item_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Score every query against every item: (num_queries, num_items)."""
+        self.model.eval()
+        # Deterministic inference (see NodeTaskTrainer.predict).
+        self.sampler.rng = np.random.default_rng(self.config.seed + 9999)
+        blocks: List[np.ndarray] = []
+        with no_grad():
+            items = self.model.item_embeddings(item_ids, self.graph)
+            for start in range(0, len(query_ids), self.config.batch_size):
+                stop = start + self.config.batch_size
+                subgraph = self.sampler.sample(
+                    seed_type, query_ids[start:stop], query_times[start:stop]
+                )
+                queries = self.model.query_embeddings(subgraph, self.graph)
+                blocks.append(self.model.score(queries, items).data)
+        if not blocks:
+            return np.zeros((0, len(item_ids)))
+        return np.vstack(blocks)

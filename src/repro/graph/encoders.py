@@ -1,0 +1,208 @@
+"""Column encoders: table columns → model-ready node features.
+
+Encoding rules (mirroring RelBench's default column transforms):
+
+* INT64 / FLOAT64 — standardized numeric channel plus a null-indicator
+  channel.  Standardization statistics are computed from rows at or
+  before a ``stats_cutoff`` timestamp so no information from the
+  evaluation horizon leaks into feature scaling.
+* BOOL — a single 0/1 channel (nulls become 0 with indicator).
+* STRING — categorical codes for an embedding table; values unseen
+  before the cutoff (or beyond a cardinality cap) hash into overflow
+  buckets.
+* TIMESTAMP feature columns — age in days relative to the cutoff,
+  standardized like numeric columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.relational.table import Table
+from repro.relational.types import DType
+
+__all__ = ["NodeFeatures", "CategoricalEncoding", "encode_table_features"]
+
+#: Hash buckets reserved for unseen / overflow categorical values.
+_OVERFLOW_BUCKETS = 8
+#: Above this many distinct values a STRING column is hashed entirely.
+_MAX_VOCAB = 256
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass
+class CategoricalEncoding:
+    """One categorical column encoded as integer codes.
+
+    ``codes`` holds per-row indices in ``[0, cardinality)``; the last
+    ``_OVERFLOW_BUCKETS`` indices are shared hash buckets for unseen
+    values, and index ``cardinality - _OVERFLOW_BUCKETS - 1`` is the
+    dedicated null code.
+    """
+
+    name: str
+    codes: np.ndarray
+    cardinality: int
+    vocabulary: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class NodeFeatures:
+    """Encoded features of one node type.
+
+    ``numeric`` is an (n, d) float array (possibly d == 0),
+    ``numeric_names`` labels its channels, and ``categorical`` lists the
+    embedding-ready columns.
+    """
+
+    numeric: np.ndarray
+    numeric_names: List[str]
+    categorical: List[CategoricalEncoding]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes covered."""
+        return self.numeric.shape[0]
+
+    @property
+    def numeric_dim(self) -> int:
+        """Width of the numeric block."""
+        return self.numeric.shape[1]
+
+    def take(self, indices: np.ndarray) -> "NodeFeatures":
+        """Feature rows for a subset of nodes (used by sampled subgraphs)."""
+        return NodeFeatures(
+            numeric=self.numeric[indices],
+            numeric_names=self.numeric_names,
+            categorical=[
+                CategoricalEncoding(
+                    name=cat.name,
+                    codes=cat.codes[indices],
+                    cardinality=cat.cardinality,
+                    vocabulary=cat.vocabulary,
+                )
+                for cat in self.categorical
+            ],
+        )
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (python's builtin is salted per process)."""
+    value = 2166136261
+    for char in text.encode("utf-8"):
+        value = ((value ^ char) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def _fit_rows(table: Table, stats_cutoff: Optional[int]) -> np.ndarray:
+    """Boolean mask of rows usable for fitting statistics (<= cutoff)."""
+    time_col = table.schema.time_column
+    if stats_cutoff is None or time_col is None:
+        return np.ones(table.num_rows, dtype=bool)
+    return table[time_col].less_equal(stats_cutoff)
+
+
+def encode_table_features(
+    table: Table,
+    stats_cutoff: Optional[int] = None,
+) -> NodeFeatures:
+    """Encode the feature columns of ``table`` into :class:`NodeFeatures`.
+
+    ``stats_cutoff`` bounds the rows used for fitting normalization and
+    vocabularies (pass the train cutoff to avoid temporal leakage).
+    """
+    fit_mask = _fit_rows(table, stats_cutoff)
+    numeric_channels: List[np.ndarray] = []
+    numeric_names: List[str] = []
+    categorical: List[CategoricalEncoding] = []
+
+    for name in table.schema.feature_columns:
+        column = table[name]
+        if column.dtype in (DType.INT64, DType.FLOAT64):
+            values, indicator = _encode_numeric(
+                column.values.astype(np.float64), column.null_mask(), fit_mask
+            )
+            numeric_channels.extend([values, indicator])
+            numeric_names.extend([name, f"{name}__isnull"])
+        elif column.dtype == DType.BOOL:
+            numeric_channels.append(
+                np.where(column.null_mask(), 0.0, column.values.astype(np.float64))
+            )
+            numeric_names.append(name)
+        elif column.dtype == DType.TIMESTAMP:
+            reference = float(stats_cutoff) if stats_cutoff is not None else float(
+                np.max(column.values[~column.null_mask()], initial=0)
+            )
+            age_days = (reference - column.values.astype(np.float64)) / _SECONDS_PER_DAY
+            values, indicator = _encode_numeric(age_days, column.null_mask(), fit_mask)
+            numeric_channels.extend([values, indicator])
+            numeric_names.extend([f"{name}__age_days", f"{name}__isnull"])
+        elif column.dtype == DType.STRING:
+            categorical.append(_encode_categorical(name, column.values, column.null_mask(), fit_mask))
+        else:  # pragma: no cover - exhaustive over DType
+            raise TypeError(f"unsupported feature dtype {column.dtype}")
+
+    if numeric_channels:
+        numeric = np.column_stack(numeric_channels)
+    else:
+        numeric = np.zeros((table.num_rows, 0))
+    return NodeFeatures(numeric=numeric, numeric_names=numeric_names, categorical=categorical)
+
+
+def _encode_numeric(
+    values: np.ndarray, null_mask: np.ndarray, fit_mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Standardize using fit-window statistics; nulls become 0 + indicator."""
+    usable = fit_mask & ~null_mask
+    if usable.any():
+        mean = float(values[usable].mean())
+        std = float(values[usable].std())
+    else:
+        mean, std = 0.0, 1.0
+    if std < 1e-12:
+        std = 1.0
+    standardized = (values - mean) / std
+    standardized = np.where(null_mask, 0.0, standardized)
+    # Clip so outliers beyond the fit window cannot blow up activations.
+    standardized = np.clip(standardized, -10.0, 10.0)
+    return standardized, null_mask.astype(np.float64)
+
+
+def _encode_categorical(
+    name: str, values: np.ndarray, null_mask: np.ndarray, fit_mask: np.ndarray
+) -> CategoricalEncoding:
+    """Integer-code a string column with overflow hashing for unseen values."""
+    usable = fit_mask & ~null_mask
+    seen = sorted({str(v) for v in values[usable]})
+    if len(seen) > _MAX_VOCAB:
+        # Hash everything: cardinality = _MAX_VOCAB + null + overflow.
+        vocabulary: Dict[str, int] = {}
+        base = _MAX_VOCAB
+    else:
+        vocabulary = {value: i for i, value in enumerate(seen)}
+        base = len(seen)
+    null_code = base
+    overflow_start = base + 1
+    cardinality = overflow_start + _OVERFLOW_BUCKETS
+
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, raw in enumerate(values):
+        if null_mask[i]:
+            codes[i] = null_code
+        else:
+            text = str(raw)
+            if vocabulary:
+                code = vocabulary.get(text)
+                codes[i] = (
+                    code
+                    if code is not None
+                    else overflow_start + _stable_hash(text) % _OVERFLOW_BUCKETS
+                )
+            else:
+                codes[i] = _stable_hash(text) % _MAX_VOCAB
+    return CategoricalEncoding(
+        name=name, codes=codes, cardinality=cardinality, vocabulary=vocabulary
+    )

@@ -1,0 +1,198 @@
+"""Standard layers built on the autograd tensor."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "MLP",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+]
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Xavier-initialized weights.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output widths.
+    rng:
+        Random generator for initialization.
+    bias:
+        Whether to include the additive bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Affine transform of the last axis."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    """ReLU as a module (for use in :class:`Sequential`)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Elementwise max(x, 0)."""
+        return x.relu()
+
+
+class Tanh(Module):
+    """Tanh as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Elementwise tanh."""
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    The generator is stored so repeated forward passes draw fresh masks
+    while the whole run stays reproducible from one seed.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero units in training mode; identity in eval mode."""
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Pass ``x`` through every step in order."""
+        for step in self.steps:
+            x = step(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.steps[index]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and optional dropout.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths, e.g. ``[64, 128, 1]`` builds two linear layers.
+    rng:
+        Random generator for initialization.
+    dropout:
+        Dropout probability applied after every hidden activation.
+    final_activation:
+        Whether to apply ReLU after the last layer too (default off,
+        so the MLP can produce logits/regression outputs).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        final_activation: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output width")
+        self.layers: List[Linear] = [
+            Linear(d_in, d_out, rng) for d_in, d_out in zip(dims[:-1], dims[1:])
+        ]
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the linear stack with ReLU (+dropout) between layers."""
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < last or self.final_activation:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=0.1))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Embedding rows for integer ``indices`` (gradients accumulate)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding indices out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight.take(indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalize the last axis to zero mean / unit variance, then scale-shift."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta

@@ -1,0 +1,86 @@
+"""Loss functions.
+
+All losses return a scalar :class:`~repro.nn.tensor.Tensor` (mean over
+the batch) so ``loss.backward()`` starts from a well-defined gradient.
+Targets are plain numpy arrays — they never need gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "bpr_loss",
+]
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, pos_weight: Optional[float] = None
+) -> Tensor:
+    """Stable binary cross-entropy on raw logits.
+
+    Uses the identity ``bce = max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    ``pos_weight`` multiplies the positive-class term, for class
+    imbalance.
+    """
+    targets = np.asarray(targets, dtype=np.float64).reshape(logits.shape)
+    t = Tensor(targets)
+    # bce = softplus(z) - z*y, which equals -y*log(p) - (1-y)*log(1-p).
+    per_example = logits.softplus() - logits * t
+    if pos_weight is not None and pos_weight != 1.0:
+        weights = np.where(targets > 0.5, pos_weight, 1.0)
+        per_example = per_example * Tensor(weights)
+    return per_example.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Multiclass cross-entropy: ``logits`` is (n, C), ``targets`` int (n,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n, num_classes = logits.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match batch {n}")
+    log_probs = logits.log_softmax(axis=-1)
+    one_hot = np.zeros((n, num_classes))
+    one_hot[np.arange(n), targets] = 1.0
+    return (log_probs * Tensor(one_hot)).sum() * (-1.0 / max(n, 1))
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    diff = pred - Tensor(np.asarray(targets, dtype=np.float64).reshape(pred.shape))
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error."""
+    diff = pred - Tensor(np.asarray(targets, dtype=np.float64).reshape(pred.shape))
+    return diff.abs().mean()
+
+
+def huber_loss(pred: Tensor, targets: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta``, linear outside.
+
+    Implemented with the smooth form
+    ``delta^2 * (sqrt(1 + (r/delta)^2) - 1)`` (pseudo-Huber), which has
+    the same asymptotics and is differentiable everywhere.
+    """
+    targets = np.asarray(targets, dtype=np.float64).reshape(pred.shape)
+    residual = pred - Tensor(targets)
+    scaled = residual * (1.0 / delta)
+    return (((scaled * scaled + 1.0).sqrt() - 1.0) * (delta**2)).mean()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian personalized ranking loss: -log sigmoid(pos - neg)."""
+    diff = pos_scores - neg_scores
+    # -log(sigmoid(x)) = softplus(-x), computed stably.
+    return (diff * -1.0).softplus().mean()

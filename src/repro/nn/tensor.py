@@ -1,0 +1,520 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+The :class:`Tensor` records a dynamic computation graph: every
+differentiable op stores its parents and a closure that accumulates
+gradients into them.  :meth:`Tensor.backward` topologically sorts the
+graph and runs the closures in reverse.
+
+Only float64 data participates in differentiation; integer index arrays
+are passed as plain numpy arrays to ops like :meth:`Tensor.take` and
+:func:`scatter-style <repro.gnn.scatter>` aggregations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as float64.
+    requires_grad:
+        Whether gradients should flow into this tensor (leaf
+        parameters set this true).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def item(self) -> float:
+        """The single scalar value (errors if not one element)."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    def _item_error(self) -> float:
+        raise ValueError(f"item() requires a one-element tensor, got shape {self.shape}")
+
+    def numpy(self) -> np.ndarray:
+        """The raw data array (shared, do not mutate)."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in visited:
+                    continue
+                visited.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if parent.requires_grad and id(parent) not in visited:
+                        stack.append((parent, False))
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate grads? Keep for inspection; cheap at our scale.
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                else:
+                    self._accumulate(grad @ other.data.swapaxes(-1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2 else grad * self.data)
+                else:
+                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log."""
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        """Elementwise tanh."""
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (numerically stable)."""
+        data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, None, 500))),
+            np.exp(np.clip(self.data, -500, None)) / (1.0 + np.exp(np.clip(self.data, -500, None))),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        """Elementwise ``log(1 + exp(x))``, computed stably; d/dx = sigmoid(x)."""
+        data = np.logaddexp(0.0, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                sig = np.where(
+                    self.data >= 0,
+                    1.0 / (1.0 + np.exp(-np.clip(self.data, None, 500))),
+                    np.exp(np.clip(self.data, -500, None))
+                    / (1.0 + np.exp(np.clip(self.data, -500, None))),
+                )
+                self._accumulate(grad * sig)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise rectified linear unit."""
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        """Elementwise leaky ReLU."""
+        mask = self.data > 0
+        data = np.where(mask, self.data, slope * self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, slope))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient 0 at 0)."""
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Elementwise clamp; gradient is zero outside [low, high]."""
+        data = np.clip(self.data, low, high)
+        inside = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * inside)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (all axes when ``None``)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / max(count, 1))
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Maximum over one axis; gradient flows to (first) argmax."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            expanded = data if keepdims else np.expand_dims(data, axis=axis)
+            mask = self.data == expanded
+            # Split gradient across ties to keep it a subgradient.
+            counts = mask.sum(axis=axis, keepdims=True)
+            if not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.where(mask, g / counts, 0.0))
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape (view semantics on forward, exact reverse on backward)."""
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        """Swap the last two axes."""
+        data = self.data.swapaxes(-1, -2)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).swapaxes(-1, -2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def take(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows along axis 0 (repeats allowed; grads accumulate)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices, grad)
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    def slice_rows(self, start: int, stop: int) -> "Tensor":
+        """Contiguous row slice along axis 0."""
+        data = self.data[start:stop]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                full[start:stop] = grad
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
+        """Concatenate tensors along ``axis``."""
+        tensors = [Tensor._lift(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis."""
+        tensors = [Tensor._lift(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            for i, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.take(grad, i, axis=axis))
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------
+    # Softmax family (stable)
+    # ------------------------------------------------------------------
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        data = shifted - log_norm
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                softmax = np.exp(data)
+                grad = np.asarray(grad)
+                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return Tensor._make(data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis``."""
+        return self.log_softmax(axis=axis).exp()

@@ -1,0 +1,159 @@
+"""Abstract syntax tree for PQL queries."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "TaskType",
+    "Condition",
+    "Aggregate",
+    "ListTarget",
+    "Comparison",
+    "PredictiveQuery",
+]
+
+
+class TaskType(enum.Enum):
+    """The ML task a query compiles to."""
+
+    BINARY = "binary"
+    REGRESSION = "regression"
+    LINK = "link"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One predicate ``column op literal`` (conditions AND together).
+
+    ``op`` is one of ``> >= < <= = !=`` plus the pseudo-ops
+    ``is_null`` / ``is_not_null`` (literal ignored).
+    """
+
+    column: str
+    op: str
+    literal: Union[int, float, str, bool, None]
+
+    def __str__(self) -> str:
+        if self.op == "is_null":
+            return f"{self.column} IS NULL"
+        if self.op == "is_not_null":
+            return f"{self.column} IS NOT NULL"
+        literal = f"'{self.literal}'" if isinstance(self.literal, str) else self.literal
+        return f"{self.column} {self.op} {literal}"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate over a fact table's rows inside the horizon window.
+
+    ``func`` ∈ {count, sum, avg, min, max, exists, count_distinct};
+    ``column`` may be ``None`` for count/exists.  ``via`` names an
+    intermediate table when the facts are two foreign-key hops from
+    the entity (``COUNT(votes VIA posts)`` for each user: votes whose
+    post belongs to the user).
+    """
+
+    func: str
+    table: str
+    column: Optional[str] = None
+    conditions: tuple = ()
+    via: Optional[str] = None
+
+    def __str__(self) -> str:
+        target = self.table if self.column is None else f"{self.table}.{self.column}"
+        if self.via is not None:
+            target = f"{target} VIA {self.via}"
+        where = ""
+        if self.conditions:
+            where = " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        return f"{self.func.upper()}({target}{where})"
+
+
+@dataclass(frozen=True)
+class ListTarget:
+    """Link-prediction target: the set of ``table.column`` foreign-key
+    values that appear in the horizon window."""
+
+    table: str
+    column: str
+    conditions: tuple = ()
+
+    def __str__(self) -> str:
+        where = ""
+        if self.conditions:
+            where = " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        return f"LIST({self.table}.{self.column}{where})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Threshold turning an aggregate into a binary label."""
+
+    op: str
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class PredictiveQuery:
+    """A parsed PQL query.
+
+    Attributes
+    ----------
+    target:
+        The :class:`Aggregate` or :class:`ListTarget`.
+    comparison:
+        Present only for binary classification.
+    entity_table, entity_key:
+        The ``FOR EACH table.column`` clause.
+    entity_conditions:
+        Static filter on which entities receive predictions.
+    horizon_seconds:
+        Length of the label window after the cutoff.
+    """
+
+    target: Union[Aggregate, ListTarget]
+    comparison: Optional[Comparison]
+    entity_table: str
+    entity_key: str
+    entity_conditions: tuple
+    horizon_seconds: int
+    #: ``WHERE AGE < n DAYS`` — only entities created within the last
+    #: ``n`` days before the cutoff are eligible (requires the entity
+    #: table to be temporal).  ``None`` = no recency restriction.
+    entity_max_age_seconds: Optional[int] = None
+
+    @property
+    def task_type(self) -> TaskType:
+        """Classify the query into binary / regression / link."""
+        if isinstance(self.target, ListTarget):
+            return TaskType.LINK
+        if self.comparison is not None:
+            return TaskType.BINARY
+        return TaskType.REGRESSION
+
+    def __str__(self) -> str:
+        parts = [f"PREDICT {self.target}"]
+        if self.comparison is not None:
+            parts.append(str(self.comparison))
+        parts.append(f"FOR EACH {self.entity_table}.{self.entity_key}")
+        filters = [str(c) for c in self.entity_conditions]
+        if self.entity_max_age_seconds is not None:
+            age_days = self.entity_max_age_seconds / 86400
+            if age_days == int(age_days):
+                filters.append(f"AGE < {int(age_days)} DAYS")
+            else:
+                filters.append(f"AGE < {self.entity_max_age_seconds // 3600} HOURS")
+        if filters:
+            parts.append("WHERE " + " AND ".join(filters))
+        days, rem = divmod(self.horizon_seconds, 86400)
+        if rem == 0 and days > 0:
+            parts.append(f"ASSUMING HORIZON {days} DAYS")
+        else:
+            parts.append(f"ASSUMING HORIZON {self.horizon_seconds // 3600} HOURS")
+        return " ".join(parts)

@@ -1,0 +1,254 @@
+"""Label computation: window aggregates over the database.
+
+For each cutoff time ``t`` in the training/evaluation schedule, the
+labeler finds the entities that exist at ``t`` (and pass the entity
+filter), collects the target-table facts with
+``t < fact.time <= t + horizon`` (and the target filter), and reduces
+them per entity with the query's aggregate.  This is the ground truth
+the declarative pipeline trains against — computed *only* from data in
+the future window, never visible to the model whose inputs stop at
+``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.pql.ast import Aggregate, Comparison, Condition, TaskType
+from repro.pql.validate import QueryBinding
+from repro.relational.algebra import aggregate_grouped_values
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.relational.types import DType
+
+__all__ = ["LabelTable", "build_label_table", "condition_mask"]
+
+
+@dataclass
+class LabelTable:
+    """Entity/cutoff/label triples ready for model training.
+
+    ``labels`` is a float array for binary (0/1) and regression tasks;
+    for link tasks it is all-NaN and ``item_keys`` holds, per row, the
+    array of item primary keys appearing in the window (possibly
+    empty).
+    """
+
+    task_type: TaskType
+    entity_table: str
+    entity_keys: np.ndarray
+    cutoffs: np.ndarray
+    labels: np.ndarray
+    item_keys: Optional[List[np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return len(self.entity_keys)
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of positive labels (binary tasks)."""
+        if self.task_type != TaskType.BINARY or len(self.labels) == 0:
+            return float("nan")
+        return float(self.labels.mean())
+
+    def subset(self, indices: np.ndarray) -> "LabelTable":
+        """Row subset (used for split slicing and subsampling)."""
+        indices = np.asarray(indices)
+        return LabelTable(
+            task_type=self.task_type,
+            entity_table=self.entity_table,
+            entity_keys=self.entity_keys[indices],
+            cutoffs=self.cutoffs[indices],
+            labels=self.labels[indices],
+            item_keys=[self.item_keys[i] for i in indices.tolist()] if self.item_keys else None,
+        )
+
+
+def condition_mask(table: Table, condition: Condition) -> np.ndarray:
+    """Boolean row mask for one PQL condition."""
+    column = table[condition.column]
+    if condition.op == "is_null":
+        return column.null_mask()
+    if condition.op == "is_not_null":
+        return ~column.null_mask()
+    literal = condition.literal
+    if column.dtype == DType.BOOL and isinstance(literal, bool):
+        literal_value = bool(literal)
+    else:
+        literal_value = literal
+    ops = {
+        ">": column.greater_than,
+        ">=": column.greater_equal,
+        "<": column.less_than,
+        "<=": column.less_equal,
+        "=": column.equals,
+        "!=": column.not_equals,
+    }
+    if condition.op not in ops:
+        raise ValueError(f"unsupported condition operator {condition.op!r}")
+    return ops[condition.op](literal_value)
+
+
+def _apply_conditions(table: Table, conditions) -> np.ndarray:
+    mask = np.ones(table.num_rows, dtype=bool)
+    for condition in conditions:
+        mask &= condition_mask(table, condition)
+    return mask
+
+
+def _compare(values: np.ndarray, comparison: Comparison) -> np.ndarray:
+    ops = {
+        ">": np.greater,
+        ">=": np.greater_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        "=": np.equal,
+        "!=": np.not_equal,
+    }
+    return ops[comparison.op](values, comparison.value).astype(np.float64)
+
+
+def build_label_table(
+    db: Database,
+    binding: QueryBinding,
+    cutoffs: Sequence[int],
+) -> LabelTable:
+    """Materialize labels for every (eligible entity, cutoff) pair.
+
+    Rows whose aggregate is undefined (avg/min/max over an empty
+    window) are dropped for regression tasks.  Link-task rows keep
+    empty item sets; the planner decides whether to train on them.
+    """
+    query = binding.query
+    entity_table = db[query.entity_table]
+    target_table = db[query.target.table]
+    time_column = target_table[binding.target_schema.time_column]
+    if binding.via_fk is not None:
+        # Two-hop path: fact --via_fk--> via row --entity_fk--> entity.
+        fk_column = target_table[binding.via_fk.column]
+        via_table = db[binding.via_schema.name]
+        via_pk_values = via_table[binding.via_schema.primary_key]
+        via_entity_values = via_table[binding.entity_fk.column]
+        via_to_entity = {
+            via_pk_values.get(i): via_entity_values.get(i)
+            for i in range(via_table.num_rows)
+        }
+    else:
+        fk_column = target_table[binding.entity_fk.column]
+        via_to_entity = None
+
+    entity_keys_all = entity_table[binding.entity_schema.primary_key].values
+    entity_static_mask = _apply_conditions(entity_table, query.entity_conditions)
+    entity_time = None
+    if binding.entity_schema.time_column is not None:
+        entity_time = entity_table[binding.entity_schema.time_column]
+
+    target_static_mask = _apply_conditions(target_table, query.target.conditions)
+    key_to_slot = {key: i for i, key in enumerate(entity_keys_all.tolist())}
+
+    out_keys: List[np.ndarray] = []
+    out_cutoffs: List[np.ndarray] = []
+    out_labels: List[np.ndarray] = []
+    out_items: List[np.ndarray] = []
+    is_link = binding.task_type == TaskType.LINK
+    item_values = target_table[query.target.column] if is_link else None
+
+    for cutoff in cutoffs:
+        eligible = entity_static_mask.copy()
+        if entity_time is not None:
+            eligible &= entity_time.less_equal(int(cutoff))
+            if query.entity_max_age_seconds is not None:
+                eligible &= entity_time.greater_than(int(cutoff) - query.entity_max_age_seconds)
+        eligible_slots = np.flatnonzero(eligible)
+        if len(eligible_slots) == 0:
+            continue
+        slot_of = np.full(len(entity_keys_all), -1, dtype=np.int64)
+        slot_of[eligible_slots] = np.arange(len(eligible_slots))
+
+        window = (
+            target_static_mask
+            & time_column.greater_than(int(cutoff))
+            & time_column.less_equal(int(cutoff) + query.horizon_seconds)
+            & ~fk_column.null_mask()
+        )
+        fact_rows = np.flatnonzero(window)
+        fact_groups = np.full(len(fact_rows), -1, dtype=np.int64)
+        for i, key in enumerate(fk_column.values[fact_rows].tolist()):
+            if via_to_entity is not None:
+                key = via_to_entity.get(key)
+                if key is None:
+                    continue
+            slot = key_to_slot.get(key, -1)
+            fact_groups[i] = slot_of[slot] if slot >= 0 else -1
+
+        keys = entity_keys_all[eligible_slots]
+        cut_array = np.full(len(eligible_slots), int(cutoff), dtype=np.int64)
+        if is_link:
+            labels = np.full(len(eligible_slots), np.nan)
+            items: List[List[object]] = [[] for _ in range(len(eligible_slots))]
+            valid_item = ~item_values.null_mask()
+            for local, row in zip(fact_groups.tolist(), fact_rows.tolist()):
+                if local >= 0 and valid_item[row]:
+                    items[local].append(item_values.values[row])
+            out_items.extend(np.asarray(group) for group in items)
+        else:
+            labels = _aggregate_labels(
+                binding, target_table, fact_rows, fact_groups, len(eligible_slots)
+            )
+            if binding.query.comparison is not None:
+                labels = np.where(np.isnan(labels), np.nan, _compare(labels, query.comparison))
+        out_keys.append(keys)
+        out_cutoffs.append(cut_array)
+        out_labels.append(labels)
+
+    if not out_keys:
+        empty = np.empty(0)
+        return LabelTable(
+            task_type=binding.task_type,
+            entity_table=query.entity_table,
+            entity_keys=empty,
+            cutoffs=empty.astype(np.int64),
+            labels=empty,
+            item_keys=[] if is_link else None,
+        )
+
+    keys = np.concatenate(out_keys)
+    cuts = np.concatenate(out_cutoffs)
+    labels = np.concatenate(out_labels)
+    items = out_items if is_link else None
+
+    # Drop rows with undefined aggregates (empty-window avg/min/max).
+    defined = ~np.isnan(labels) if not is_link else np.ones(len(labels), dtype=bool)
+    if not defined.all():
+        keys, cuts, labels = keys[defined], cuts[defined], labels[defined]
+
+    return LabelTable(
+        task_type=binding.task_type,
+        entity_table=query.entity_table,
+        entity_keys=keys,
+        cutoffs=cuts,
+        labels=labels,
+        item_keys=items,
+    )
+
+
+def _aggregate_labels(
+    binding: QueryBinding,
+    target_table: Table,
+    fact_rows: np.ndarray,
+    fact_groups: np.ndarray,
+    num_entities: int,
+) -> np.ndarray:
+    target = binding.query.target
+    assert isinstance(target, Aggregate)
+    if target.column is None:
+        return aggregate_grouped_values(target.func, fact_groups, num_entities)
+    column = target_table[target.column]
+    values = column.values[fact_rows].astype(np.float64)
+    valid = ~column.null_mask()[fact_rows]
+    return aggregate_grouped_values(
+        target.func, fact_groups, num_entities, values=values, valid=valid
+    )

@@ -1,0 +1,226 @@
+"""Recursive-descent parser for PQL.
+
+Grammar (keywords case-insensitive)::
+
+    query       := PREDICT target [comparison]
+                   FOR EACH ident DOT ident
+                   [WHERE conditions]
+                   ASSUMING HORIZON number (DAYS | HOURS)
+    target      := agg_func LPAREN ident [DOT ident] [WHERE conditions] RPAREN
+                 | LIST LPAREN ident DOT ident [WHERE conditions] RPAREN
+    agg_func    := COUNT | SUM | AVG | MIN | MAX | EXISTS | COUNT_DISTINCT
+    comparison  := op number
+    conditions  := condition (AND condition)*
+    condition   := [ident DOT] ident (op literal | IS [NOT] NULL)
+    literal     := number | string | TRUE | FALSE
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.pql.ast import Aggregate, Comparison, Condition, ListTarget, PredictiveQuery
+from repro.pql.tokens import Token, TokenKind, tokenize
+
+__all__ = ["parse", "PQLSyntaxError"]
+
+_AGG_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "EXISTS", "COUNT_DISTINCT"}
+_NO_COLUMN_FUNCS = {"COUNT", "EXISTS"}
+
+
+class PQLSyntaxError(ValueError):
+    """Raised when a query does not match the PQL grammar."""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expectation = value or kind
+            raise PQLSyntaxError(
+                f"expected {expectation} at position {token.position}, got {token.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> PredictiveQuery:
+        self.expect(TokenKind.KEYWORD, "PREDICT")
+        target = self._target()
+        comparison = self._comparison()
+        self.expect(TokenKind.KEYWORD, "FOR")
+        self.expect(TokenKind.KEYWORD, "EACH")
+        entity_table = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.DOT)
+        entity_key = self.expect(TokenKind.IDENT).value
+        entity_conditions: Tuple[Condition, ...] = ()
+        entity_max_age: Optional[int] = None
+        if self.accept(TokenKind.KEYWORD, "WHERE"):
+            entity_conditions, entity_max_age = self._entity_conditions()
+        self.expect(TokenKind.KEYWORD, "ASSUMING")
+        self.expect(TokenKind.KEYWORD, "HORIZON")
+        amount_token = self.expect(TokenKind.NUMBER)
+        amount = float(amount_token.value)
+        unit = self.peek()
+        if unit.kind == TokenKind.KEYWORD and unit.value in ("DAYS", "HOURS"):
+            self.advance()
+            seconds = int(round(amount * (86400 if unit.value == "DAYS" else 3600)))
+        else:
+            raise PQLSyntaxError(
+                f"expected DAYS or HOURS at position {unit.position}, got {unit.value!r}"
+            )
+        if seconds <= 0:
+            raise PQLSyntaxError("horizon must be positive")
+        self.expect(TokenKind.EOF)
+        return PredictiveQuery(
+            target=target,
+            comparison=comparison,
+            entity_table=entity_table,
+            entity_key=entity_key,
+            entity_conditions=entity_conditions,
+            horizon_seconds=seconds,
+            entity_max_age_seconds=entity_max_age,
+        )
+
+    def _target(self) -> Union[Aggregate, ListTarget]:
+        token = self.peek()
+        if token.kind != TokenKind.KEYWORD or (token.value not in _AGG_FUNCS and token.value != "LIST"):
+            raise PQLSyntaxError(
+                f"expected an aggregate or LIST at position {token.position}, got {token.value!r}"
+            )
+        func = self.advance().value
+        self.expect(TokenKind.LPAREN)
+        table = self.expect(TokenKind.IDENT).value
+        column: Optional[str] = None
+        if self.accept(TokenKind.DOT):
+            column = self.expect(TokenKind.IDENT).value
+        via: Optional[str] = None
+        if self.accept(TokenKind.KEYWORD, "VIA"):
+            via = self.expect(TokenKind.IDENT).value
+        conditions: Tuple[Condition, ...] = ()
+        if self.accept(TokenKind.KEYWORD, "WHERE"):
+            conditions = self._conditions()
+        self.expect(TokenKind.RPAREN)
+        if func == "LIST":
+            if column is None:
+                raise PQLSyntaxError("LIST target requires table.column")
+            if via is not None:
+                raise PQLSyntaxError("VIA is not supported for LIST targets")
+            return ListTarget(table=table, column=column, conditions=conditions)
+        if func in _NO_COLUMN_FUNCS:
+            if column is not None:
+                # COUNT(t.c) counts non-null c; we accept and keep the column.
+                pass
+        elif column is None:
+            raise PQLSyntaxError(f"{func} requires a column, e.g. {func}(table.column)")
+        return Aggregate(
+            func=func.lower(), table=table, column=column, conditions=conditions, via=via
+        )
+
+    def _comparison(self) -> Optional[Comparison]:
+        token = self.peek()
+        if token.kind != TokenKind.OPERATOR:
+            return None
+        op = self.advance().value
+        value_token = self.expect(TokenKind.NUMBER)
+        value = float(value_token.value)
+        if value.is_integer():
+            value = int(value)
+        return Comparison(op=op, value=value)
+
+    def _entity_conditions(self) -> Tuple[Tuple[Condition, ...], Optional[int]]:
+        """Entity WHERE clause: static conditions plus optional AGE filter."""
+        conditions: List[Condition] = []
+        max_age: Optional[int] = None
+        while True:
+            if self.peek().kind == TokenKind.KEYWORD and self.peek().value == "AGE":
+                if max_age is not None:
+                    raise PQLSyntaxError("duplicate AGE filter in entity WHERE clause")
+                max_age = self._age_filter()
+            else:
+                conditions.append(self._condition())
+            if not self.accept(TokenKind.KEYWORD, "AND"):
+                break
+        return tuple(conditions), max_age
+
+    def _age_filter(self) -> int:
+        self.expect(TokenKind.KEYWORD, "AGE")
+        op = self.expect(TokenKind.OPERATOR)
+        if op.value not in ("<", "<="):
+            raise PQLSyntaxError(
+                f"AGE filter only supports < or <=, got {op.value!r} at position {op.position}"
+            )
+        amount = float(self.expect(TokenKind.NUMBER).value)
+        unit = self.peek()
+        if unit.kind == TokenKind.KEYWORD and unit.value in ("DAYS", "HOURS"):
+            self.advance()
+        else:
+            raise PQLSyntaxError(
+                f"expected DAYS or HOURS after AGE bound at position {unit.position}"
+            )
+        seconds = int(round(amount * (86400 if unit.value == "DAYS" else 3600)))
+        if seconds <= 0:
+            raise PQLSyntaxError("AGE bound must be positive")
+        return seconds
+
+    def _conditions(self) -> Tuple[Condition, ...]:
+        conditions = [self._condition()]
+        while self.accept(TokenKind.KEYWORD, "AND"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        first = self.expect(TokenKind.IDENT).value
+        if self.accept(TokenKind.DOT):
+            # Qualified column: we keep only the column name; the
+            # validator checks the qualifier matches the target table.
+            column = self.expect(TokenKind.IDENT).value
+        else:
+            column = first
+        if self.accept(TokenKind.KEYWORD, "IS"):
+            negated = self.accept(TokenKind.KEYWORD, "NOT") is not None
+            self.expect(TokenKind.KEYWORD, "NULL")
+            return Condition(column=column, op="is_not_null" if negated else "is_null", literal=None)
+        op_token = self.expect(TokenKind.OPERATOR)
+        literal = self._literal()
+        return Condition(column=column, op=op_token.value, literal=literal)
+
+    def _literal(self) -> Union[int, float, str, bool]:
+        token = self.peek()
+        if token.kind == TokenKind.NUMBER:
+            self.advance()
+            value = float(token.value)
+            return int(value) if value.is_integer() else value
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return token.value
+        if token.kind == TokenKind.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return token.value == "TRUE"
+        raise PQLSyntaxError(
+            f"expected a literal at position {token.position}, got {token.value!r}"
+        )
+
+
+def parse(text: str) -> PredictiveQuery:
+    """Parse a PQL query string into a :class:`PredictiveQuery`."""
+    return _Parser(text).parse()

@@ -1,0 +1,531 @@
+"""The query → trained-model compiler.
+
+:class:`PredictiveQueryPlanner` is the paper's headline API: hand it a
+database and a PQL string, and it produces a trained model —
+
+1. **parse + validate** the query against the schema;
+2. **label** every (entity, cutoff) pair by executing the window
+   aggregate over the database;
+3. **compile the graph**: rows → nodes, foreign keys → edges, feature
+   statistics fitted strictly before the first label window;
+4. **train** a heterogeneous GNN with time-respecting neighbor
+   sampling (a two-tower retrieval model for LIST queries);
+5. return a :class:`TrainedPredictiveModel` that predicts for any
+   entity at any cutoff and evaluates itself on future cutoffs.
+
+No per-task feature engineering appears anywhere in this path — that
+is the point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.eval.metrics import (
+    accuracy,
+    auroc,
+    average_precision,
+    brier_score,
+    expected_calibration_error,
+    f1_score,
+    hit_rate_at_k,
+    mae,
+    mrr,
+    ndcg_at_k,
+    r2_score,
+    rmse,
+)
+from repro.eval.splits import TemporalSplit
+from repro.gnn.models import GraphMetadata, HeteroGNN, TwoTowerModel
+from repro.gnn.trainer import LinkTaskTrainer, NodeTaskTrainer, TrainConfig
+from repro.graph.builder import build_graph, node_index_for_keys
+from repro.graph.hetero import HeteroGraph
+from repro.graph.fast_sampler import VectorizedNeighborSampler
+from repro.graph.sampler import NeighborSampler
+from repro.pql.ast import PredictiveQuery, TaskType
+from repro.pql.labeler import LabelTable, build_label_table
+from repro.pql.parser import parse
+from repro.pql.validate import QueryBinding, validate
+from repro.relational.database import Database
+
+__all__ = ["PlannerConfig", "PredictiveQueryPlanner", "TrainedPredictiveModel"]
+
+
+@dataclass
+class PlannerConfig:
+    """Hyperparameters of the compiled pipeline.
+
+    The defaults are deliberately task-agnostic: the declarative claim
+    is that one configuration serves every query.
+    """
+
+    hidden_dim: int = 32
+    num_layers: int = 2
+    fanouts: Optional[List[int]] = None  # default: [8] * num_layers
+    dropout: float = 0.0
+    aggregation: str = "mean"
+    shared_weights: bool = False
+    #: Message-passing layer family: "sage" (default) or "gat".
+    conv_type: str = "sage"
+    #: Seed-relative time encoding: "log" (default) or "fourier"
+    #: (adds sin/cos channels at daily/weekly/monthly/yearly periods).
+    time_encoding: str = "log"
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 5e-3
+    weight_decay: float = 1e-5
+    patience: int = 5
+    clip_norm: float = 5.0
+    seed: int = 0
+    #: The leaky ablation switch (Figure 3); keep True everywhere else.
+    time_respecting: bool = True
+    #: Encode each node's time-valid in-degree per relation (strong
+    #: recency/frequency signal even at depth 0); off for the pure
+    #: message-passing-depth ablation (Figure 1).
+    degree_features: bool = True
+    #: Cap on training rows (subsampled reproducibly); None = no cap.
+    max_train_rows: Optional[int] = None
+    #: Negatives per positive for LIST queries.
+    num_negatives: int = 4
+    #: Weight positive BCE terms by the inverse class ratio (binary
+    #: tasks with skewed labels); improves recall at some AUROC cost.
+    auto_pos_weight: bool = False
+    #: Neighbor-sampler implementation: "reference" (exact
+    #: without-replacement semantics) or "vectorized" (~5x faster,
+    #: with-replacement draws on high-degree nodes).
+    sampler_impl: str = "reference"
+
+    def make_sampler(self, graph, rng) -> "NeighborSampler":
+        """Instantiate the configured sampler implementation."""
+        if self.sampler_impl == "vectorized":
+            return VectorizedNeighborSampler(
+                graph, fanouts=self.resolved_fanouts(), rng=rng,
+                time_respecting=self.time_respecting,
+            )
+        if self.sampler_impl != "reference":
+            raise ValueError(
+                f"sampler_impl must be 'reference' or 'vectorized', got {self.sampler_impl!r}"
+            )
+        return NeighborSampler(
+            graph, fanouts=self.resolved_fanouts(), rng=rng,
+            time_respecting=self.time_respecting,
+        )
+
+    def resolved_fanouts(self) -> List[int]:
+        """Fanouts, defaulting to 8 per message-passing hop."""
+        if self.fanouts is not None:
+            return list(self.fanouts)
+        return [8] * max(self.num_layers, 1)
+
+    def train_config(self) -> TrainConfig:
+        """The inner loop's hyperparameters."""
+        return TrainConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            patience=self.patience,
+            clip_norm=self.clip_norm,
+            seed=self.seed,
+        )
+
+
+class PredictiveQueryPlanner:
+    """Compiles PQL queries over one database into trained models."""
+
+    def __init__(self, db: Database, config: Optional[PlannerConfig] = None) -> None:
+        self.db = db
+        self.config = config or PlannerConfig()
+
+    def plan(self, query: Union[str, PredictiveQuery]) -> QueryBinding:
+        """Parse (if needed) and validate a query against the schema."""
+        parsed = parse(query) if isinstance(query, str) else query
+        return validate(parsed, self.db)
+
+    def fit(
+        self,
+        query: Union[str, PredictiveQuery],
+        split: TemporalSplit,
+    ) -> "TrainedPredictiveModel":
+        """Compile and train; returns the deployable model."""
+        binding = self.plan(query)
+        train_labels = build_label_table(self.db, binding, split.train_cutoffs)
+        val_labels = build_label_table(self.db, binding, [split.val_cutoff])
+        if len(train_labels) == 0:
+            raise ValueError("no training rows: check cutoffs against the data's time span")
+
+        train_labels = self._maybe_subsample(train_labels)
+        stats_cutoff = min(split.train_cutoffs)
+        graph = build_graph(self.db, stats_cutoff=stats_cutoff)
+        metadata = GraphMetadata.from_graph(graph)
+        rng = np.random.default_rng(self.config.seed)
+        sampler = self.config.make_sampler(graph, np.random.default_rng(self.config.seed + 1))
+
+        if binding.task_type == TaskType.LINK:
+            model = self._fit_link(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
+        else:
+            model = self._fit_node(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
+        model.stats_cutoff = stats_cutoff
+        return model
+
+    # ------------------------------------------------------------------
+    # Node tasks (binary / regression)
+    # ------------------------------------------------------------------
+    def _fit_node(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels):
+        entity_type = binding.query.entity_table
+        model = HeteroGNN(
+            metadata,
+            hidden_dim=self.config.hidden_dim,
+            out_dim=1,
+            num_layers=self.config.num_layers,
+            rng=rng,
+            aggregation=self.config.aggregation,
+            shared_weights=self.config.shared_weights,
+            dropout=self.config.dropout,
+            degree_features=self.config.degree_features,
+            conv_type=self.config.conv_type,
+            time_encoding=self.config.time_encoding,
+        )
+        task = "binary" if binding.task_type == TaskType.BINARY else "regression"
+        pos_weight = None
+        if task == "binary" and self.config.auto_pos_weight:
+            rate = float(np.clip(train_labels.positive_rate, 1e-3, 1 - 1e-3))
+            pos_weight = (1.0 - rate) / rate
+        trainer = NodeTaskTrainer(
+            model, graph, sampler, task,
+            config=self.config.train_config(),
+            pos_weight=pos_weight,
+        )
+        train_ids = node_index_for_keys(graph, entity_type, train_labels.entity_keys)
+        kwargs = {}
+        if len(val_labels):
+            kwargs = dict(
+                val_ids=node_index_for_keys(graph, entity_type, val_labels.entity_keys),
+                val_times=val_labels.cutoffs,
+                val_labels=val_labels.labels,
+            )
+        trainer.fit(entity_type, train_ids, train_labels.cutoffs, train_labels.labels, **kwargs)
+        return TrainedPredictiveModel(
+            db=self.db,
+            binding=binding,
+            graph=graph,
+            config=self.config,
+            node_trainer=trainer,
+        )
+
+    # ------------------------------------------------------------------
+    # Link tasks
+    # ------------------------------------------------------------------
+    def _fit_link(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels):
+        entity_type = binding.query.entity_table
+        item_type = binding.item_table
+        model = TwoTowerModel(
+            metadata,
+            item_type=item_type,
+            num_items=graph.num_nodes(item_type),
+            embed_dim=self.config.hidden_dim,
+            num_layers=self.config.num_layers,
+            rng=rng,
+            dropout=self.config.dropout,
+        )
+        trainer = LinkTaskTrainer(
+            model,
+            graph,
+            sampler,
+            config=self.config.train_config(),
+            num_negatives=self.config.num_negatives,
+        )
+        q_ids, q_times, pos_items = self._explode_pairs(graph, entity_type, item_type, train_labels)
+        if len(q_ids) == 0:
+            raise ValueError("no positive (entity, item) pairs in the training windows")
+        kwargs = {}
+        vq, vt, vi = self._explode_pairs(graph, entity_type, item_type, val_labels)
+        if len(vq):
+            kwargs = dict(val_query_ids=vq, val_query_times=vt, val_pos_item_ids=vi)
+        trainer.fit(entity_type, q_ids, q_times, pos_items, **kwargs)
+        return TrainedPredictiveModel(
+            db=self.db,
+            binding=binding,
+            graph=graph,
+            config=self.config,
+            link_trainer=trainer,
+        )
+
+    def _explode_pairs(self, graph, entity_type, item_type, labels: LabelTable):
+        """Flatten a LIST label table into (query, time, item) triples."""
+        queries, times, items = [], [], []
+        for key, cutoff, item_keys in zip(
+            labels.entity_keys.tolist(), labels.cutoffs.tolist(), labels.item_keys or []
+        ):
+            for item_key in np.asarray(item_keys).tolist():
+                queries.append(key)
+                times.append(cutoff)
+                items.append(item_key)
+        if not queries:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        q_ids = node_index_for_keys(graph, entity_type, np.asarray(queries))
+        item_ids = node_index_for_keys(graph, item_type, np.asarray(items))
+        return q_ids, np.asarray(times, dtype=np.int64), item_ids
+
+    def _maybe_subsample(self, labels: LabelTable) -> LabelTable:
+        cap = self.config.max_train_rows
+        if cap is None or len(labels) <= cap:
+            return labels
+        rng = np.random.default_rng(self.config.seed + 7)
+        picks = rng.choice(len(labels), size=cap, replace=False)
+        return labels.subset(np.sort(picks))
+
+
+class TrainedPredictiveModel:
+    """A fitted predictive query, ready to predict and self-evaluate."""
+
+    def __init__(
+        self,
+        db: Database,
+        binding: QueryBinding,
+        graph: HeteroGraph,
+        config: PlannerConfig,
+        node_trainer: Optional[NodeTaskTrainer] = None,
+        link_trainer: Optional[LinkTaskTrainer] = None,
+    ) -> None:
+        self.db = db
+        self.binding = binding
+        self.graph = graph
+        self.config = config
+        self.node_trainer = node_trainer
+        self.link_trainer = link_trainer
+        #: Feature-statistics cutoff used at fit time (set by the planner;
+        #: persisted so a reloaded model rebuilds the identical graph).
+        self.stats_cutoff: Optional[int] = None
+
+    @property
+    def task_type(self) -> TaskType:
+        """The compiled task type."""
+        return self.binding.task_type
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, entity_keys: np.ndarray, cutoff: int) -> np.ndarray:
+        """Predictions for given entities as of ``cutoff``.
+
+        Binary → P(positive); regression → value on the label scale.
+        For link tasks use :meth:`rank_items`.
+        """
+        if self.node_trainer is None:
+            raise RuntimeError("predict() is for node tasks; use rank_items() for LIST queries")
+        entity_type = self.binding.query.entity_table
+        ids = node_index_for_keys(self.graph, entity_type, np.asarray(entity_keys))
+        times = np.full(len(ids), int(cutoff), dtype=np.int64)
+        return self.node_trainer.predict(entity_type, ids, times)
+
+    def rank_items(self, entity_keys: np.ndarray, cutoff: int, k: int = 10):
+        """Top-``k`` item keys and scores per entity (link tasks only)."""
+        if self.link_trainer is None:
+            raise RuntimeError("rank_items() is only available for LIST queries")
+        entity_type = self.binding.query.entity_table
+        item_type = self.binding.item_table
+        q_ids = node_index_for_keys(self.graph, entity_type, np.asarray(entity_keys))
+        times = np.full(len(q_ids), int(cutoff), dtype=np.int64)
+        item_ids = np.arange(self.graph.num_nodes(item_type))
+        scores = self.link_trainer.score_against_items(entity_type, q_ids, times, item_ids)
+        item_keys = self.graph.node_keys[item_type]
+        results = []
+        for row in scores:
+            top = np.argsort(-row, kind="stable")[:k]
+            results.append((item_keys[top], row[top]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, cutoff: int, k: int = 10) -> Dict[str, float]:
+        """Metrics against ground-truth labels computed at ``cutoff``."""
+        labels = build_label_table(self.db, self.binding, [int(cutoff)])
+        if self.task_type == TaskType.LINK:
+            return self._evaluate_link(labels, k)
+        predictions = self.predict(labels.entity_keys, int(cutoff))
+        if self.task_type == TaskType.BINARY:
+            return {
+                "auroc": auroc(labels.labels, predictions),
+                "average_precision": average_precision(labels.labels, predictions),
+                "accuracy": accuracy(labels.labels, (predictions > 0.5).astype(float)),
+                "f1": f1_score(labels.labels, (predictions > 0.5).astype(float)),
+                "brier": brier_score(labels.labels, predictions),
+                "ece": expected_calibration_error(labels.labels, predictions),
+                "num_examples": float(len(labels)),
+                "positive_rate": labels.positive_rate,
+            }
+        return {
+            "mae": mae(labels.labels, predictions),
+            "rmse": rmse(labels.labels, predictions),
+            "r2": r2_score(labels.labels, predictions),
+            "num_examples": float(len(labels)),
+        }
+
+    def _evaluate_link(self, labels: LabelTable, k: int) -> Dict[str, float]:
+        entity_type = self.binding.query.entity_table
+        item_type = self.binding.item_table
+        # Standard retrieval protocol: evaluate entities with >= 1 positive.
+        keep = [i for i, items in enumerate(labels.item_keys or []) if len(items) > 0]
+        if not keep:
+            return {"mrr": float("nan"), f"hit_rate@{k}": float("nan"), f"ndcg@{k}": float("nan"), "num_queries": 0.0}
+        subset = labels.subset(np.asarray(keep))
+        q_ids = node_index_for_keys(self.graph, entity_type, subset.entity_keys)
+        item_ids = np.arange(self.graph.num_nodes(item_type))
+        scores = self.link_trainer.score_against_items(
+            entity_type, q_ids, subset.cutoffs, item_ids
+        )
+        item_key_to_node = {key: i for i, key in enumerate(self.graph.node_keys[item_type].tolist())}
+        relevance = []
+        for item_keys in subset.item_keys:
+            mask = np.zeros(len(item_ids), dtype=bool)
+            for key in np.asarray(item_keys).tolist():
+                node = item_key_to_node.get(key)
+                if node is not None:
+                    mask[node] = True
+            relevance.append(mask)
+        score_lists = [scores[i] for i in range(len(scores))]
+        return {
+            "mrr": mrr(score_lists, relevance),
+            f"hit_rate@{k}": hit_rate_at_k(score_lists, relevance, k),
+            f"ndcg@{k}": ndcg_at_k(score_lists, relevance, k),
+            "num_queries": float(len(score_lists)),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist the trained model to ``directory``.
+
+        Layout: ``manifest.json`` (query text, planner config, task
+        metadata) and ``weights.npz`` (every parameter by dotted name).
+        The database itself is *not* saved — reload against the same
+        (or a schema-compatible, refreshed) database.
+        """
+        os.makedirs(directory, exist_ok=True)
+        trainer = self.node_trainer or self.link_trainer
+        manifest = {
+            "query": str(self.binding.query),
+            "config": dataclasses.asdict(self.config),
+            "task_type": self.task_type.value,
+            "stats_cutoff": self.stats_cutoff,
+        }
+        if self.node_trainer is not None:
+            manifest["target_mean"] = self.node_trainer._target_mean
+            manifest["target_std"] = self.node_trainer._target_std
+        with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        state = trainer.model.state_dict()
+        np.savez(os.path.join(directory, "weights.npz"), **state)
+
+    @classmethod
+    def load(cls, directory: str, db: Database) -> "TrainedPredictiveModel":
+        """Reload a model saved by :meth:`save` against ``db``.
+
+        The graph is recompiled from ``db`` with the persisted
+        feature-statistics cutoff, the architecture is rebuilt from the
+        persisted config, and the weights are restored.
+        """
+        with open(os.path.join(directory, "manifest.json"), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        config = PlannerConfig(**manifest["config"])
+        planner = PredictiveQueryPlanner(db, config)
+        binding = planner.plan(manifest["query"])
+        graph = build_graph(db, stats_cutoff=manifest["stats_cutoff"])
+        metadata = GraphMetadata.from_graph(graph)
+        rng = np.random.default_rng(config.seed)
+        sampler = config.make_sampler(graph, np.random.default_rng(config.seed + 1))
+        weights = np.load(os.path.join(directory, "weights.npz"))
+        state = {name: weights[name] for name in weights.files}
+
+        if binding.task_type == TaskType.LINK:
+            network = TwoTowerModel(
+                metadata,
+                item_type=binding.item_table,
+                num_items=graph.num_nodes(binding.item_table),
+                embed_dim=config.hidden_dim,
+                num_layers=config.num_layers,
+                rng=rng,
+                dropout=config.dropout,
+            )
+            network.load_state_dict(state)
+            network.eval()
+            trainer = LinkTaskTrainer(
+                network, graph, sampler, config=config.train_config(),
+                num_negatives=config.num_negatives,
+            )
+            model = cls(db=db, binding=binding, graph=graph, config=config, link_trainer=trainer)
+        else:
+            network = HeteroGNN(
+                metadata,
+                hidden_dim=config.hidden_dim,
+                out_dim=1,
+                num_layers=config.num_layers,
+                rng=rng,
+                aggregation=config.aggregation,
+                shared_weights=config.shared_weights,
+                dropout=config.dropout,
+                degree_features=config.degree_features,
+                conv_type=config.conv_type,
+                time_encoding=config.time_encoding,
+            )
+            network.load_state_dict(state)
+            network.eval()
+            task = "binary" if binding.task_type == TaskType.BINARY else "regression"
+            trainer = NodeTaskTrainer(network, graph, sampler, task, config=config.train_config())
+            trainer._target_mean = manifest.get("target_mean", 0.0)
+            trainer._target_std = manifest.get("target_std", 1.0)
+            model = cls(db=db, binding=binding, graph=graph, config=config, node_trainer=trainer)
+        model.stats_cutoff = manifest["stats_cutoff"]
+        return model
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize(self, cutoff: int, table_name: str = "predictions") -> "Table":
+        """Predictions for every eligible entity, as a relational table.
+
+        The result has the entity key column plus a ``score`` column
+        (P(positive) for binary queries, predicted value for
+        regression) and a ``cutoff`` timestamp column; it can be added
+        to a database, queried with SQL, or exported to CSV — closing
+        the declarative loop.
+        """
+        if self.node_trainer is None:
+            raise RuntimeError("materialize() supports node tasks; LIST queries rank instead")
+        labels = build_label_table(self.db, self.binding, [int(cutoff)])
+        scores = self.predict(labels.entity_keys, int(cutoff))
+        from repro.relational.column import Column
+        from repro.relational.schema import ColumnSpec, TableSchema
+        from repro.relational.table import Table
+        from repro.relational.types import DType
+
+        key_dtype = self.binding.entity_schema.dtype_of(self.binding.entity_schema.primary_key)
+        schema = TableSchema(
+            table_name,
+            [
+                ColumnSpec("entity_key", key_dtype),
+                ColumnSpec("score", DType.FLOAT64),
+                ColumnSpec("cutoff", DType.TIMESTAMP),
+            ],
+            time_column="cutoff",
+        )
+        return Table(
+            schema,
+            {
+                "entity_key": Column(labels.entity_keys, key_dtype),
+                "score": Column(np.asarray(scores, dtype=np.float64), DType.FLOAT64),
+                "cutoff": Column(
+                    np.full(len(labels), int(cutoff), dtype=np.int64), DType.TIMESTAMP
+                ),
+            },
+        )

@@ -1,0 +1,124 @@
+"""Tokenizer for PQL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "TokenKind", "tokenize", "PQLTokenError"]
+
+KEYWORDS = {
+    "PREDICT",
+    "FOR",
+    "EACH",
+    "WHERE",
+    "ASSUMING",
+    "HORIZON",
+    "DAYS",
+    "HOURS",
+    "AND",
+    "LIST",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "EXISTS",
+    "COUNT_DISTINCT",
+    "TRUE",
+    "FALSE",
+    "NOT",
+    "NULL",
+    "IS",
+    "AGE",
+    "VIA",
+}
+
+OPERATORS = {">", ">=", "<", "<=", "=", "!="}
+
+
+class TokenKind:
+    """Token categories (plain string constants)."""
+
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    DOT = "DOT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+class PQLTokenError(ValueError):
+    """Raised on an unrecognizable character sequence."""
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split a PQL query into tokens (keywords are case-insensitive)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", i))
+            i += 1
+        elif char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", i))
+            i += 1
+        elif char == ".":
+            tokens.append(Token(TokenKind.DOT, ".", i))
+            i += 1
+        elif char in "<>!=":
+            two = text[i : i + 2]
+            if two in OPERATORS:
+                tokens.append(Token(TokenKind.OPERATOR, two, i))
+                i += 2
+            elif char in OPERATORS:
+                tokens.append(Token(TokenKind.OPERATOR, char, i))
+                i += 1
+            else:
+                raise PQLTokenError(f"unexpected character {char!r} at position {i}")
+        elif char == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise PQLTokenError(f"unterminated string literal at position {i}")
+            tokens.append(Token(TokenKind.STRING, text[i + 1 : end], i))
+            i = end + 1
+        elif char.isdigit() or (char == "-" and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start))
+        elif char.isalpha() or char == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, start))
+        else:
+            raise PQLTokenError(f"unexpected character {char!r} at position {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,131 @@
+"""Grid search over planner configurations.
+
+Declarative ML still has hyperparameters; this module keeps their
+selection inside the temporal protocol: every candidate trains on the
+training cutoffs and is scored on the *validation* cutoff — the test
+cutoff is never touched until the final model is chosen.
+
+Example::
+
+    from repro.pql.tuning import tune
+
+    result = tune(
+        db, query, split,
+        grid={"hidden_dim": [16, 32], "num_layers": [1, 2]},
+    )
+    result.best_model.evaluate(split.test_cutoff)
+    for entry in result.leaderboard:
+        print(entry.params, entry.score)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.eval.splits import TemporalSplit
+from repro.pql.ast import PredictiveQuery, TaskType
+from repro.pql.planner import PlannerConfig, PredictiveQueryPlanner, TrainedPredictiveModel
+from repro.relational.database import Database
+
+__all__ = ["TuneEntry", "TuneResult", "tune"]
+
+#: Validation metric per task type, and whether higher is better.
+_DEFAULT_METRICS = {
+    TaskType.BINARY: ("auroc", True),
+    TaskType.REGRESSION: ("mae", False),
+    TaskType.LINK: ("mrr", True),
+}
+
+
+@dataclass
+class TuneEntry:
+    """One evaluated configuration."""
+
+    params: Dict[str, object]
+    score: float
+    metric: str
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a grid search, ranked best-first."""
+
+    best_model: TrainedPredictiveModel
+    best_params: Dict[str, object]
+    metric: str
+    higher_is_better: bool
+    leaderboard: List[TuneEntry] = field(default_factory=list)
+
+
+def tune(
+    db: Database,
+    query: Union[str, PredictiveQuery],
+    split: TemporalSplit,
+    grid: Mapping[str, Sequence[object]],
+    base_config: Optional[PlannerConfig] = None,
+    metric: Optional[str] = None,
+) -> TuneResult:
+    """Exhaustive grid search; selects on the validation cutoff.
+
+    Parameters
+    ----------
+    db, query, split:
+        As for :meth:`PredictiveQueryPlanner.fit`.
+    grid:
+        Mapping from :class:`PlannerConfig` field name to candidate
+        values; the cartesian product is evaluated.
+    base_config:
+        Config providing all non-swept fields (defaults otherwise).
+    metric:
+        Validation metric to select on; defaults per task type (AUROC,
+        MAE, MRR).  Direction is inferred (error metrics minimize).
+
+    Notes
+    -----
+    The best configuration's *already trained* model is returned — no
+    retraining on train+val, keeping the protocol simple and honest.
+    """
+    if not grid:
+        raise ValueError("grid must name at least one hyperparameter")
+    base = base_config or PlannerConfig()
+    for name in grid:
+        if not hasattr(base, name):
+            raise KeyError(f"PlannerConfig has no field {name!r}")
+
+    binding = PredictiveQueryPlanner(db, base).plan(query)
+    default_metric, default_higher = _DEFAULT_METRICS[binding.task_type]
+    chosen_metric = metric or default_metric
+    higher_is_better = (
+        default_higher if metric is None else metric not in ("mae", "rmse", "brier", "ece")
+    )
+
+    names = list(grid)
+    leaderboard: List[TuneEntry] = []
+    best_model: Optional[TrainedPredictiveModel] = None
+    best_score = None
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        config = replace(base, **params)
+        model = PredictiveQueryPlanner(db, config).fit(query, split)
+        score = float(model.evaluate(split.val_cutoff)[chosen_metric])
+        leaderboard.append(TuneEntry(params=params, score=score, metric=chosen_metric))
+        better = (
+            best_score is None
+            or (higher_is_better and score > best_score)
+            or (not higher_is_better and score < best_score)
+        )
+        if better:
+            best_score = score
+            best_model = model
+            best_params = params
+
+    leaderboard.sort(key=lambda entry: entry.score, reverse=higher_is_better)
+    return TuneResult(
+        best_model=best_model,
+        best_params=best_params,
+        metric=chosen_metric,
+        higher_is_better=higher_is_better,
+        leaderboard=leaderboard,
+    )

@@ -1,0 +1,188 @@
+"""Semantic validation of PQL queries against a database schema.
+
+Checks performed:
+
+* entity table exists and ``entity_key`` is its primary key;
+* target table exists, is temporal (labels are defined over a time
+  window), and has exactly one foreign key to the entity table (that
+  key links facts to entities);
+* aggregate columns exist and are numeric where required;
+* condition columns exist and literals match their column types;
+* for LIST targets, the listed column is a foreign key (the items
+  being predicted must be entities themselves).
+
+On success returns a :class:`QueryBinding` carrying the resolved
+schema objects that the labeler and planner consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pql.ast import Aggregate, ListTarget, PredictiveQuery, TaskType
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, TableSchema
+from repro.relational.types import DType
+
+__all__ = ["PQLValidationError", "QueryBinding", "validate"]
+
+_NUMERIC_FUNCS = {"sum", "avg", "min", "max"}
+
+
+class PQLValidationError(ValueError):
+    """Raised when a syntactically valid query does not fit the schema."""
+
+
+@dataclass(frozen=True)
+class QueryBinding:
+    """A validated query plus the schema objects it resolves to.
+
+    For ``VIA`` aggregates, ``entity_fk`` is the *via* table's foreign
+    key to the entity and ``via_fk`` is the fact table's foreign key to
+    the via table; otherwise ``via_schema``/``via_fk`` are ``None``.
+    """
+
+    query: PredictiveQuery
+    entity_schema: TableSchema
+    target_schema: TableSchema
+    entity_fk: ForeignKey
+    #: For LIST targets: the FK that the listed column resolves to.
+    item_fk: Optional[ForeignKey]
+    via_schema: Optional[TableSchema] = None
+    via_fk: Optional[ForeignKey] = None
+
+    @property
+    def task_type(self) -> TaskType:
+        """The task type of the bound query."""
+        return self.query.task_type
+
+    @property
+    def item_table(self) -> Optional[str]:
+        """For link tasks, the table the predicted items live in."""
+        return self.item_fk.ref_table if self.item_fk is not None else None
+
+
+def _check_conditions(schema: TableSchema, conditions, context: str) -> None:
+    for condition in conditions:
+        if not schema.has_column(condition.column):
+            raise PQLValidationError(
+                f"{context}: table {schema.name!r} has no column {condition.column!r}"
+            )
+        if condition.op in ("is_null", "is_not_null"):
+            continue
+        dtype = schema.dtype_of(condition.column)
+        literal = condition.literal
+        if dtype in (DType.INT64, DType.FLOAT64, DType.TIMESTAMP):
+            if not isinstance(literal, (int, float)) or isinstance(literal, bool):
+                raise PQLValidationError(
+                    f"{context}: column {condition.column!r} is numeric but literal is {literal!r}"
+                )
+        elif dtype == DType.STRING:
+            if not isinstance(literal, str):
+                raise PQLValidationError(
+                    f"{context}: column {condition.column!r} is a string but literal is {literal!r}"
+                )
+            if condition.op not in ("=", "!="):
+                raise PQLValidationError(
+                    f"{context}: string column {condition.column!r} only supports = / != "
+                    f"(got {condition.op!r})"
+                )
+        elif dtype == DType.BOOL:
+            if not isinstance(literal, bool):
+                raise PQLValidationError(
+                    f"{context}: column {condition.column!r} is boolean but literal is {literal!r}"
+                )
+
+
+def _single_fk(schema: TableSchema, ref_table: str, context: str) -> ForeignKey:
+    """The unique foreign key of ``schema`` into ``ref_table``."""
+    candidates = [fk for fk in schema.foreign_keys if fk.ref_table == ref_table]
+    if not candidates:
+        raise PQLValidationError(f"{context} has no foreign key to table {ref_table!r}")
+    if len(candidates) > 1:
+        raise PQLValidationError(
+            f"{context} has multiple foreign keys to {ref_table!r}; PQL cannot disambiguate"
+        )
+    return candidates[0]
+
+
+def validate(query: PredictiveQuery, db: Database) -> QueryBinding:
+    """Validate ``query`` against ``db``; returns the resolved binding."""
+    # --- entity side ---------------------------------------------------
+    if query.entity_table not in db:
+        raise PQLValidationError(f"unknown entity table {query.entity_table!r}")
+    entity_schema = db[query.entity_table].schema
+    if entity_schema.primary_key != query.entity_key:
+        raise PQLValidationError(
+            f"FOR EACH must use the primary key: {query.entity_table!r} has "
+            f"primary key {entity_schema.primary_key!r}, got {query.entity_key!r}"
+        )
+    _check_conditions(entity_schema, query.entity_conditions, "entity filter")
+    if query.entity_max_age_seconds is not None and entity_schema.time_column is None:
+        raise PQLValidationError(
+            f"AGE filter requires entity table {query.entity_table!r} to have a time column"
+        )
+
+    # --- target side ---------------------------------------------------
+    target = query.target
+    if target.table not in db:
+        raise PQLValidationError(f"unknown target table {target.table!r}")
+    target_schema = db[target.table].schema
+    if target_schema.time_column is None:
+        raise PQLValidationError(
+            f"target table {target.table!r} has no time column; window aggregates "
+            "need timestamped facts"
+        )
+    via_schema = None
+    via_fk = None
+    via_name = getattr(target, "via", None)
+    if via_name is not None:
+        if via_name not in db:
+            raise PQLValidationError(f"unknown VIA table {via_name!r}")
+        via_schema = db[via_name].schema
+        if via_schema.primary_key is None:
+            raise PQLValidationError(f"VIA table {via_name!r} needs a primary key")
+        via_fk = _single_fk(target_schema, via_name, f"target table {target.table!r}")
+        entity_fk = _single_fk(via_schema, query.entity_table, f"VIA table {via_name!r}")
+    else:
+        entity_fk = _single_fk(target_schema, query.entity_table, f"target table {target.table!r}")
+    _check_conditions(target_schema, target.conditions, "target filter")
+
+    item_fk: Optional[ForeignKey] = None
+    if isinstance(target, ListTarget):
+        if not target_schema.has_column(target.column):
+            raise PQLValidationError(
+                f"LIST column {target.table}.{target.column} does not exist"
+            )
+        item_fk = target_schema.foreign_key_for(target.column)
+        if item_fk is None:
+            raise PQLValidationError(
+                f"LIST column {target.table}.{target.column} must be a foreign key "
+                "(the predicted items must be entities)"
+            )
+    else:
+        assert isinstance(target, Aggregate)
+        if target.column is not None:
+            if not target_schema.has_column(target.column):
+                raise PQLValidationError(
+                    f"aggregate column {target.table}.{target.column} does not exist"
+                )
+            dtype = target_schema.dtype_of(target.column)
+            if target.func in _NUMERIC_FUNCS and not dtype.is_numeric:
+                raise PQLValidationError(
+                    f"{target.func.upper()} needs a numeric column, "
+                    f"{target.table}.{target.column} is {dtype.value}"
+                )
+        elif target.func in _NUMERIC_FUNCS:
+            raise PQLValidationError(f"{target.func.upper()} requires a column")
+
+    return QueryBinding(
+        query=query,
+        entity_schema=entity_schema,
+        target_schema=target_schema,
+        entity_fk=entity_fk,
+        item_fk=item_fk,
+        via_schema=via_schema,
+        via_fk=via_fk,
+    )

@@ -1,0 +1,102 @@
+"""CSV persistence: a database saves as one CSV per table plus schema.json."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, List
+
+from repro.relational.column import Column
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DType
+
+__all__ = ["save_database", "load_database"]
+
+_SCHEMA_FILE = "schema.json"
+_NULL_TOKEN = ""
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Write ``db`` to ``directory`` (created if missing).
+
+    Layout: ``schema.json`` with the database name and all table
+    schemas, plus ``<table>.csv`` per table.  Nulls serialize as empty
+    fields.
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "name": db.name,
+        "tables": [table.schema.to_dict() for table in db],
+    }
+    with open(os.path.join(directory, _SCHEMA_FILE), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    for table in db:
+        _save_table(table, os.path.join(directory, f"{table.name}.csv"))
+
+
+def _save_table(table: Table, path: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        columns = [table[name] for name in table.column_names]
+        for i in range(table.num_rows):
+            writer.writerow(
+                [_serialize(col.get(i), col.dtype) for col in columns]
+            )
+
+
+def _serialize(value, dtype: DType) -> str:
+    if value is None:
+        return _NULL_TOKEN
+    if dtype == DType.BOOL:
+        return "true" if value else "false"
+    if dtype == DType.FLOAT64:
+        return repr(float(value))
+    return str(value)
+
+
+def load_database(directory: str) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    with open(os.path.join(directory, _SCHEMA_FILE), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    db = Database(name=manifest["name"])
+    for schema_dict in manifest["tables"]:
+        schema = TableSchema.from_dict(schema_dict)
+        db.add_table(_load_table(schema, os.path.join(directory, f"{schema.name}.csv")))
+    return db
+
+
+def _load_table(schema: TableSchema, path: str) -> Table:
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != schema.column_names:
+            raise ValueError(
+                f"CSV header of {path!r} does not match schema: {header} != {schema.column_names}"
+            )
+        raw: Dict[str, List] = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                raw[name].append(cell)
+    columns = {
+        name: _parse_column(raw[name], schema.dtype_of(name)) for name in header
+    }
+    return Table(schema, columns)
+
+
+def _parse_column(cells: List[str], dtype: DType) -> Column:
+    values = [None if cell == _NULL_TOKEN and dtype != DType.STRING else _parse(cell, dtype) for cell in cells]
+    return Column(values, dtype)
+
+
+def _parse(cell: str, dtype: DType):
+    if dtype == DType.STRING:
+        return cell
+    if dtype == DType.BOOL:
+        return cell.strip().lower() in ("1", "true", "t", "yes")
+    if dtype == DType.FLOAT64:
+        return float(cell)
+    return int(float(cell))

@@ -1,0 +1,153 @@
+"""Table schemas: column specs, primary keys, and foreign keys.
+
+The schema layer is what makes "databases as graphs" possible: the
+DB→graph compiler (:mod:`repro.graph.builder`) walks foreign keys to
+create edges and reads ``time_column`` to stamp nodes, so schemas carry
+exactly that metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.relational.types import DType
+
+__all__ = ["ColumnSpec", "ForeignKey", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and logical type of one column."""
+
+    name: str
+    dtype: DType
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {"name": self.name, "dtype": self.dtype.value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=data["name"], dtype=DType.parse(data["dtype"]))
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key link ``column -> ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {"column": self.column, "ref_table": self.ref_table, "ref_column": self.ref_column}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ForeignKey":
+        """Inverse of :meth:`to_dict`."""
+        return cls(column=data["column"], ref_table=data["ref_table"], ref_column=data["ref_column"])
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within a database.
+    columns:
+        Ordered column specifications.
+    primary_key:
+        Name of the primary-key column, or ``None`` for pure fact
+        tables (e.g. event logs that are never referenced).
+    foreign_keys:
+        Outgoing foreign-key links.
+    time_column:
+        Name of the TIMESTAMP column that dates each row's creation,
+        or ``None`` for static dimension tables.
+    """
+
+    name: str
+    columns: List[ColumnSpec]
+    primary_key: Optional[str] = None
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    time_column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name!r}: {names}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise ValueError(f"primary key {self.primary_key!r} not a column of table {self.name!r}")
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise ValueError(f"foreign key column {fk.column!r} not a column of table {self.name!r}")
+        if self.time_column is not None:
+            if self.time_column not in names:
+                raise ValueError(f"time column {self.time_column!r} not a column of table {self.name!r}")
+            if self.dtype_of(self.time_column) != DType.TIMESTAMP:
+                raise ValueError(f"time column {self.time_column!r} of table {self.name!r} must be TIMESTAMP")
+
+    @property
+    def column_names(self) -> List[str]:
+        """Ordered list of column names."""
+        return [spec.name for spec in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column of that name exists."""
+        return any(spec.name == name for spec in self.columns)
+
+    def dtype_of(self, name: str) -> DType:
+        """Dtype of a named column."""
+        for spec in self.columns:
+            if spec.name == name:
+                return spec.dtype
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def foreign_key_for(self, column: str) -> Optional[ForeignKey]:
+        """The foreign key declared on ``column``, if any."""
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None
+
+    @property
+    def feature_columns(self) -> List[str]:
+        """Columns that are plain attributes (not keys, not the time column)."""
+        key_names = {self.primary_key} | {fk.column for fk in self.foreign_keys} | {self.time_column}
+        return [spec.name for spec in self.columns if spec.name not in key_names]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "columns": [spec.to_dict() for spec in self.columns],
+            "primary_key": self.primary_key,
+            "foreign_keys": [fk.to_dict() for fk in self.foreign_keys],
+            "time_column": self.time_column,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSchema":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            columns=[ColumnSpec.from_dict(spec) for spec in data["columns"]],
+            primary_key=data.get("primary_key"),
+            foreign_keys=[ForeignKey.from_dict(fk) for fk in data.get("foreign_keys", [])],
+            time_column=data.get("time_column"),
+        )
+
+    def renamed(self, new_name: str) -> "TableSchema":
+        """Copy of this schema under a new table name."""
+        return TableSchema(
+            name=new_name,
+            columns=list(self.columns),
+            primary_key=self.primary_key,
+            foreign_keys=list(self.foreign_keys),
+            time_column=self.time_column,
+        )

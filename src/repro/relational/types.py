@@ -1,0 +1,90 @@
+"""Column data types for the relational engine.
+
+Every column in a table carries a :class:`DType`.  The physical storage
+for each logical type is a numpy array:
+
+========== =======================  =========================================
+DType       numpy storage            notes
+========== =======================  =========================================
+INT64       ``int64``                null encoded in a separate mask
+FLOAT64     ``float64``              null encoded as NaN *and* in the mask
+BOOL        ``bool``                 null encoded in a separate mask
+STRING      ``object``               arbitrary python strings
+TIMESTAMP   ``int64``                seconds since the unix epoch
+========== =======================  =========================================
+
+Timestamps are plain integers (seconds).  The helpers :func:`days` and
+:func:`hours` convert human-scale durations into seconds so call sites
+read naturally, e.g. ``cutoff + days(30)``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DType", "Timestamp", "NULL_SENTINELS", "days", "hours", "numpy_dtype_for"]
+
+#: Alias used in signatures that accept epoch-second timestamps.
+Timestamp = int
+
+_SECONDS_PER_HOUR = 3600
+_SECONDS_PER_DAY = 24 * _SECONDS_PER_HOUR
+
+
+class DType(enum.Enum):
+    """Logical column type."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    TIMESTAMP = "timestamp"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic aggregation."""
+        return self in (DType.INT64, DType.FLOAT64, DType.TIMESTAMP)
+
+    @classmethod
+    def parse(cls, name: str) -> "DType":
+        """Parse a dtype from its string name (as stored in schema.json)."""
+        try:
+            return cls(name)
+        except ValueError:
+            raise ValueError(f"unknown dtype name: {name!r}") from None
+
+
+#: Per-dtype value stored in the physical array at null positions.  The
+#: authoritative null indicator is the column mask; these sentinels only
+#: keep the physical arrays well-formed.
+NULL_SENTINELS = {
+    DType.INT64: np.int64(0),
+    DType.FLOAT64: np.float64("nan"),
+    DType.BOOL: np.False_,
+    DType.STRING: "",
+    DType.TIMESTAMP: np.int64(0),
+}
+
+
+def numpy_dtype_for(dtype: DType) -> np.dtype:
+    """Physical numpy dtype used to store values of ``dtype``."""
+    mapping = {
+        DType.INT64: np.dtype(np.int64),
+        DType.FLOAT64: np.dtype(np.float64),
+        DType.BOOL: np.dtype(np.bool_),
+        DType.STRING: np.dtype(object),
+        DType.TIMESTAMP: np.dtype(np.int64),
+    }
+    return mapping[dtype]
+
+
+def days(n: float) -> int:
+    """Duration of ``n`` days, in epoch seconds."""
+    return int(round(n * _SECONDS_PER_DAY))
+
+
+def hours(n: float) -> int:
+    """Duration of ``n`` hours, in epoch seconds."""
+    return int(round(n * _SECONDS_PER_HOUR))

@@ -1,0 +1,113 @@
+"""CSV persistence roundtrip tests."""
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    ColumnSpec,
+    Database,
+    DType,
+    ForeignKey,
+    Table,
+    TableSchema,
+    load_database,
+    save_database,
+)
+
+
+def sample_db():
+    db = Database("sample")
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "users",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("name", DType.STRING),
+                    ColumnSpec("score", DType.FLOAT64),
+                    ColumnSpec("active", DType.BOOL),
+                    ColumnSpec("ts", DType.TIMESTAMP),
+                ],
+                primary_key="id",
+                time_column="ts",
+            ),
+            {
+                "id": [1, 2, 3],
+                "name": ["ann", "bob, jr.", "li \"quote\""],
+                "score": [1.5, None, -2.25],
+                "active": [True, False, None],
+                "ts": [100, 200, 300],
+            },
+        )
+    )
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "events",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("user_id", DType.INT64),
+                    ColumnSpec("ts", DType.TIMESTAMP),
+                ],
+                primary_key="id",
+                foreign_keys=[ForeignKey("user_id", "users", "id")],
+                time_column="ts",
+            ),
+            {"id": [10], "user_id": [None], "ts": [150]},
+        )
+    )
+    return db
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip_values(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "out"))
+        loaded = load_database(str(tmp_path / "out"))
+        assert loaded.name == "sample"
+        assert loaded.table_names == db.table_names
+        for table in db:
+            reloaded = loaded[table.name]
+            for i in range(table.num_rows):
+                assert reloaded.row(i) == table.row(i)
+
+    def test_roundtrip_schema(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "out"))
+        loaded = load_database(str(tmp_path / "out"))
+        assert loaded["events"].schema.foreign_keys == db["events"].schema.foreign_keys
+        assert loaded["users"].schema.time_column == "ts"
+        assert loaded["users"].schema.primary_key == "id"
+
+    def test_special_characters_survive(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "out"))
+        loaded = load_database(str(tmp_path / "out"))
+        assert loaded["users"]["name"].to_list() == ["ann", "bob, jr.", 'li "quote"']
+
+    def test_header_mismatch_detected(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "out"))
+        csv_path = tmp_path / "out" / "events.csv"
+        text = csv_path.read_text().replace("user_id", "uzer_id")
+        csv_path.write_text(text)
+        with pytest.raises(ValueError):
+            load_database(str(tmp_path / "out"))
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        db = Database("empty")
+        schema = TableSchema("t", [ColumnSpec("a", DType.FLOAT64)])
+        db.add_table(Table.empty(schema))
+        save_database(db, str(tmp_path / "out"))
+        loaded = load_database(str(tmp_path / "out"))
+        assert loaded["t"].num_rows == 0
+
+    def test_generated_dataset_roundtrip(self, tmp_path):
+        from repro.datasets import make_ecommerce
+
+        db = make_ecommerce(num_customers=30, num_products=10, seed=1)
+        save_database(db, str(tmp_path / "shop"))
+        loaded = load_database(str(tmp_path / "shop"))
+        loaded.validate()
+        assert loaded["orders"].num_rows == db["orders"].num_rows
+        assert loaded["orders"] == db["orders"]

@@ -1,0 +1,155 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REGISTRY,
+    get_dataset,
+    make_clinical,
+    make_ecommerce,
+    make_forum,
+)
+from repro.pql import build_label_table, parse, validate
+
+
+class TestEcommerce:
+    def test_schema_and_integrity(self):
+        db = make_ecommerce(num_customers=50, num_products=20, seed=0)
+        db.validate()
+        assert set(db.table_names) == {"customers", "products", "orders", "reviews"}
+        assert db["orders"].schema.time_column == "ts"
+        assert len(db["orders"].schema.foreign_keys) == 2
+
+    def test_deterministic_given_seed(self):
+        a = make_ecommerce(num_customers=40, seed=5)
+        b = make_ecommerce(num_customers=40, seed=5)
+        assert a["orders"].num_rows == b["orders"].num_rows
+        assert a["orders"]["amount"].to_list() == b["orders"]["amount"].to_list()
+
+    def test_different_seeds_differ(self):
+        a = make_ecommerce(num_customers=40, seed=1)
+        b = make_ecommerce(num_customers=40, seed=2)
+        assert a["orders"].num_rows != b["orders"].num_rows
+
+    def test_orders_after_signup(self):
+        db = make_ecommerce(num_customers=60, seed=0)
+        signup = dict(zip(db["customers"]["id"].to_list(), db["customers"]["signup_ts"].to_list()))
+        for row in db["orders"].iter_rows():
+            assert row["ts"] >= signup[row["customer_id"]]
+
+    def test_churn_labels_balanced_enough(self):
+        db = make_ecommerce(num_customers=150, seed=0)
+        binding = validate(
+            parse("PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"), db
+        )
+        span = db.time_span()
+        cutoff = span[1] - 40 * 86400
+        labels = build_label_table(db, binding, [cutoff])
+        rate = labels.positive_rate
+        assert 0.05 < rate < 0.95
+
+
+class TestForum:
+    def test_schema_and_integrity(self):
+        db = make_forum(num_users=40, seed=0)
+        db.validate()
+        assert set(db.table_names) == {"users", "posts", "votes", "comments"}
+
+    def test_votes_reference_existing_posts(self):
+        db = make_forum(num_users=40, seed=0)
+        post_ids = set(db["posts"]["id"].to_list())
+        assert set(db["votes"]["post_id"].to_list()) <= post_ids
+
+    def test_feedback_signal_planted(self):
+        """Users whose posts got votes last month post more next month."""
+        db = make_forum(num_users=150, seed=0)
+        span = db.time_span()
+        cutoff = span[1] - 30 * 86400
+        votes = db["votes"]
+        posts = db["posts"]
+        post_author = dict(zip(posts["id"].to_list(), posts["user_id"].to_list()))
+        post_ts = dict(zip(posts["id"].to_list(), posts["ts"].to_list()))
+        recent_votes = {}
+        for row in votes.iter_rows():
+            if cutoff - 30 * 86400 < row["ts"] <= cutoff:
+                author = post_author[row["post_id"]]
+                recent_votes[author] = recent_votes.get(author, 0) + 1
+        future_posts = {}
+        for row in posts.iter_rows():
+            if cutoff < row["ts"] <= cutoff + 14 * 86400:
+                future_posts[row["user_id"]] = future_posts.get(row["user_id"], 0) + 1
+        users = db["users"]["id"].to_list()
+        encouraged = [u for u in users if recent_votes.get(u, 0) >= 5]
+        quiet = [u for u in users if recent_votes.get(u, 0) == 0]
+        if encouraged and quiet:
+            rate_enc = np.mean([future_posts.get(u, 0) > 0 for u in encouraged])
+            rate_quiet = np.mean([future_posts.get(u, 0) > 0 for u in quiet])
+            assert rate_enc > rate_quiet
+
+
+class TestClinical:
+    def test_schema_and_integrity(self):
+        db = make_clinical(num_patients=40, seed=0)
+        db.validate()
+        assert set(db.table_names) == {"patients", "visits", "diagnoses", "prescriptions"}
+
+    def test_one_diagnosis_per_visit(self):
+        db = make_clinical(num_patients=40, seed=0)
+        assert db["diagnoses"].num_rows == db["visits"].num_rows
+
+    def test_chronic_codes_predict_revisits(self):
+        """Patients with chronic diagnosis codes revisit more often."""
+        db = make_clinical(num_patients=200, seed=0)
+        visits = db["visits"]
+        diagnoses = db["diagnoses"]
+        visit_patient = dict(zip(visits["id"].to_list(), visits["patient_id"].to_list()))
+        chronic_codes = {"E11", "I10", "J44", "N18"}
+        has_chronic = set()
+        for row in diagnoses.iter_rows():
+            if row["code"] in chronic_codes:
+                has_chronic.add(visit_patient[row["visit_id"]])
+        counts = {}
+        for row in visits.iter_rows():
+            counts[row["patient_id"]] = counts.get(row["patient_id"], 0) + 1
+        chronic_mean = np.mean([counts.get(p, 0) for p in has_chronic])
+        others = [p for p in db["patients"]["id"].to_list() if p not in has_chronic]
+        other_mean = np.mean([counts.get(p, 0) for p in others])
+        assert chronic_mean > 2 * other_mean
+
+
+class TestRegistry:
+    def test_all_datasets_registered(self):
+        assert set(REGISTRY) == {"ecommerce", "forum", "clinical"}
+
+    def test_get_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+
+    def test_task_lookup(self):
+        spec = get_dataset("ecommerce")
+        assert spec.task("churn").kind == "binary"
+        with pytest.raises(KeyError):
+            spec.task("nope")
+
+    def test_every_task_query_validates(self):
+        for spec in REGISTRY.values():
+            db = spec.build(scale=0.15, seed=0)
+            for task in spec.tasks:
+                binding = validate(parse(task.query), db)
+                assert binding.task_type.value == task.kind
+
+    def test_split_for_fits_span(self):
+        spec = get_dataset("ecommerce")
+        db = spec.build(scale=0.3, seed=0)
+        task = spec.task("churn")
+        horizon = parse(task.query).horizon_seconds
+        split = spec.split_for(db, task, horizon)
+        span = db.time_span()
+        assert split.test_cutoff + horizon <= span[1]
+
+    def test_scale_changes_size(self):
+        spec = get_dataset("ecommerce")
+        small = spec.build(scale=0.2, seed=0)
+        large = spec.build(scale=1.0, seed=0)
+        assert large["customers"].num_rows > small["customers"].num_rows

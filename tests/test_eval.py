@@ -1,0 +1,201 @@
+"""Tests for metrics and temporal splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    TemporalSplit,
+    accuracy,
+    auroc,
+    average_precision,
+    f1_score,
+    hit_rate_at_k,
+    mae,
+    make_temporal_split,
+    mrr,
+    ndcg_at_k,
+    r2_score,
+    rmse,
+)
+
+
+class TestAUROC:
+    def test_perfect_separation(self):
+        assert auroc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted(self):
+        assert auroc(np.array([0, 0, 1, 1]), np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000).astype(float)
+        s = rng.random(2000)
+        assert abs(auroc(y, s) - 0.5) < 0.05
+
+    def test_ties_get_midranks(self):
+        # All scores equal -> AUROC exactly 0.5.
+        assert auroc(np.array([0, 1, 0, 1]), np.zeros(4)) == 0.5
+
+    def test_single_class_nan(self):
+        assert np.isnan(auroc(np.ones(3), np.array([0.1, 0.2, 0.3])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            auroc(np.zeros(2), np.zeros(3))
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 60).astype(float)
+        s = rng.random(60)
+        if y.sum() in (0, len(y)):
+            y[0] = 1 - y[0]
+        pos = s[y > 0.5]
+        neg = s[y < 0.5]
+        pairwise = np.mean([(p > n) + 0.5 * (p == n) for p in pos for n in neg])
+        assert auroc(y, s) == pytest.approx(pairwise)
+
+
+class TestOtherClassification:
+    def test_average_precision_perfect(self):
+        assert average_precision(np.array([1, 1, 0, 0]), np.array([0.9, 0.8, 0.2, 0.1])) == 1.0
+
+    def test_average_precision_no_positives(self):
+        assert np.isnan(average_precision(np.zeros(3), np.ones(3)))
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+        assert np.isnan(accuracy(np.array([]), np.array([])))
+
+    def test_f1(self):
+        assert f1_score(np.array([1, 1, 0]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+        assert f1_score(np.zeros(3), np.zeros(3)) == 0.0
+
+
+class TestRegressionMetrics:
+    def test_mae_rmse(self):
+        y = np.array([0.0, 2.0])
+        p = np.array([1.0, 0.0])
+        assert mae(y, p) == 1.5
+        assert rmse(y, p) == pytest.approx(np.sqrt(2.5))
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, 2.0)) == 0.0
+        assert np.isnan(r2_score(np.ones(3), np.ones(3)))
+
+
+class TestRankingMetrics:
+    def test_mrr_first_hit(self):
+        scores = [np.array([0.9, 0.5, 0.1])]
+        relevant = [np.array([False, True, False])]
+        assert mrr(scores, relevant) == 0.5
+
+    def test_mrr_no_relevant(self):
+        assert mrr([np.array([1.0])], [np.array([False])]) == 0.0
+
+    def test_mrr_empty_nan(self):
+        assert np.isnan(mrr([], []))
+
+    def test_mrr_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mrr([np.array([1.0])], [])
+
+    def test_hit_rate(self):
+        scores = [np.array([0.9, 0.5, 0.1]), np.array([0.1, 0.5, 0.9])]
+        relevant = [np.array([True, False, False]), np.array([True, False, False])]
+        assert hit_rate_at_k(scores, relevant, 1) == 0.5
+        assert hit_rate_at_k(scores, relevant, 3) == 1.0
+
+    def test_ndcg_perfect(self):
+        scores = [np.array([0.9, 0.8, 0.1])]
+        relevant = [np.array([True, True, False])]
+        assert ndcg_at_k(scores, relevant, 3) == pytest.approx(1.0)
+
+    def test_ndcg_relevant_at_bottom(self):
+        scores = [np.array([0.9, 0.8, 0.1])]
+        relevant = [np.array([False, False, True])]
+        expected = (1 / np.log2(4)) / (1 / np.log2(2))
+        assert ndcg_at_k(scores, relevant, 3) == pytest.approx(expected)
+
+
+class TestSplits:
+    def test_make_split_layout(self):
+        split = make_temporal_split(0, 1000, horizon_seconds=100, num_train_cutoffs=3)
+        assert split.test_cutoff == 900
+        assert split.val_cutoff == 800
+        assert split.train_cutoffs == (500, 600, 700)
+
+    def test_too_short_span(self):
+        with pytest.raises(ValueError):
+            make_temporal_split(0, 300, horizon_seconds=100, num_train_cutoffs=3)
+
+    def test_invalid_orderings_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalSplit(train_cutoffs=(10,), val_cutoff=5, test_cutoff=20)
+        with pytest.raises(ValueError):
+            TemporalSplit(train_cutoffs=(1,), val_cutoff=5, test_cutoff=5)
+        with pytest.raises(ValueError):
+            TemporalSplit(train_cutoffs=(), val_cutoff=5, test_cutoff=6)
+
+    def test_zero_train_cutoffs_rejected(self):
+        with pytest.raises(ValueError):
+            make_temporal_split(0, 1000, 100, num_train_cutoffs=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.booleans(), st.integers(-1000, 1000)), min_size=2, max_size=50)
+)
+def test_auroc_invariant_under_monotone_transform(pairs):
+    # Integer scores so the affine transform is exact (no tie collapse).
+    y = np.array([float(b) for b, _ in pairs])
+    s = np.array([float(v) for _, v in pairs])
+    if y.sum() in (0, len(y)):
+        return
+    a1 = auroc(y, s)
+    a2 = auroc(y, s * 10 + 3)
+    assert a1 == pytest.approx(a2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+def test_rmse_at_least_mae(values):
+    y = np.array(values)
+    p = np.zeros(len(values))
+    assert rmse(y, p) >= mae(y, p) - 1e-9
+
+
+class TestCalibration:
+    def test_brier_perfect_and_worst(self):
+        from repro.eval import brier_score
+
+        assert brier_score(np.array([1, 0]), np.array([1.0, 0.0])) == 0.0
+        assert brier_score(np.array([1, 0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_brier_empty_nan(self):
+        from repro.eval import brier_score
+
+        assert np.isnan(brier_score(np.array([]), np.array([])))
+
+    def test_ece_perfectly_calibrated(self):
+        from repro.eval import expected_calibration_error
+
+        rng = np.random.default_rng(0)
+        probs = rng.uniform(0, 1, 5000)
+        labels = (rng.random(5000) < probs).astype(float)
+        assert expected_calibration_error(labels, probs) < 0.05
+
+    def test_ece_overconfident(self):
+        from repro.eval import expected_calibration_error
+
+        # Always predicts 0.99 but only half are positive.
+        probs = np.full(100, 0.99)
+        labels = np.array([1.0, 0.0] * 50)
+        assert expected_calibration_error(labels, probs) == pytest.approx(0.49)
+
+    def test_ece_empty_nan(self):
+        from repro.eval import expected_calibration_error
+
+        assert np.isnan(expected_calibration_error(np.array([]), np.array([])))

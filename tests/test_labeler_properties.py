@@ -1,0 +1,120 @@
+"""Property-based tests for label-computation invariants.
+
+These pin down the temporal semantics that make the pipeline honest:
+labels at cutoff ``t`` depend *only* on facts inside ``(t, t+horizon]``,
+and never on row order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pql import build_label_table, parse, validate
+from repro.relational import (
+    ColumnSpec,
+    Database,
+    DType,
+    ForeignKey,
+    Table,
+    TableSchema,
+)
+
+DAY = 86400
+QUERY = "PREDICT COUNT(events) > 0 FOR EACH users.id ASSUMING HORIZON 10 DAYS"
+SUM_QUERY = "PREDICT SUM(events.value) FOR EACH users.id ASSUMING HORIZON 10 DAYS"
+
+
+def build_db(event_rows):
+    """DB with 4 users and the given (user, day, value) events."""
+    users = Table.from_dict(
+        TableSchema("users", [ColumnSpec("id", DType.INT64)], primary_key="id"),
+        {"id": [0, 1, 2, 3]},
+    )
+    events = Table.from_dict(
+        TableSchema(
+            "events",
+            [
+                ColumnSpec("id", DType.INT64),
+                ColumnSpec("user_id", DType.INT64),
+                ColumnSpec("value", DType.FLOAT64),
+                ColumnSpec("ts", DType.TIMESTAMP),
+            ],
+            primary_key="id",
+            foreign_keys=[ForeignKey("user_id", "users", "id")],
+            time_column="ts",
+        ),
+        {
+            "id": list(range(len(event_rows))),
+            "user_id": [u for u, _, _ in event_rows],
+            "value": [v for _, _, v in event_rows],
+            "ts": [d * DAY for _, d, _ in event_rows],
+        },
+    )
+    db = Database("prop")
+    db.add_table(users)
+    db.add_table(events)
+    return db
+
+
+def labels_at(db, cutoff_day, query=QUERY):
+    binding = validate(parse(query), db)
+    table = build_label_table(db, binding, [cutoff_day * DAY])
+    return dict(zip(table.entity_keys.tolist(), table.labels.tolist()))
+
+
+events_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 60), st.floats(-10, 10)),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy, st.integers(0, 50))
+def test_facts_outside_window_are_irrelevant(event_rows, cutoff_day):
+    """Deleting every fact outside (t, t+horizon] leaves labels unchanged."""
+    db_full = build_db(event_rows)
+    inside = [
+        (u, d, v) for u, d, v in event_rows if cutoff_day < d <= cutoff_day + 10
+    ]
+    db_window_only = build_db(inside)
+    assert labels_at(db_full, cutoff_day) == labels_at(db_window_only, cutoff_day)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy, st.integers(0, 50), st.integers(0, 10**6))
+def test_row_order_is_irrelevant(event_rows, cutoff_day, seed):
+    """Shuffling fact rows never changes labels."""
+    rng = np.random.default_rng(seed)
+    shuffled = [event_rows[i] for i in rng.permutation(len(event_rows))]
+    assert labels_at(build_db(event_rows), cutoff_day) == labels_at(build_db(shuffled), cutoff_day)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events_strategy, st.integers(0, 50))
+def test_sum_labels_match_python_reference(event_rows, cutoff_day):
+    """SUM labels agree with a direct python computation."""
+    got = labels_at(build_db(event_rows), cutoff_day, query=SUM_QUERY)
+    expected = {u: 0.0 for u in range(4)}
+    for u, d, v in event_rows:
+        if cutoff_day < d <= cutoff_day + 10:
+            expected[u] += v
+    assert set(got) == set(expected)
+    for user, total in expected.items():
+        assert got[user] == pytest.approx(total, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events_strategy, st.integers(0, 50))
+def test_binary_labels_are_boolean(event_rows, cutoff_day):
+    got = labels_at(build_db(event_rows), cutoff_day)
+    assert set(got.values()) <= {0.0, 1.0}
+
+
+@settings(max_examples=40, deadline=None)
+@given(events_strategy, st.integers(0, 40))
+def test_adding_future_facts_beyond_horizon_is_noop(event_rows, cutoff_day):
+    """Facts after the label window cannot change labels (no future leak)."""
+    far_future = [(u, cutoff_day + 11 + extra, 5.0) for u in range(4) for extra in (0, 3)]
+    base = labels_at(build_db(event_rows), cutoff_day, query=SUM_QUERY)
+    polluted = labels_at(build_db(event_rows + far_future), cutoff_day, query=SUM_QUERY)
+    assert base == polluted

@@ -1,0 +1,230 @@
+"""Tests for the PQL tokenizer, parser, and AST."""
+
+import pytest
+
+from repro.pql import (
+    Aggregate,
+    Comparison,
+    ListTarget,
+    PQLSyntaxError,
+    PredictiveQuery,
+    TaskType,
+    parse,
+)
+from repro.pql.tokens import PQLTokenError, TokenKind, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("predict Count FOR each")
+        assert [t.value for t in tokens[:-1]] == ["PREDICT", "COUNT", "FOR", "EACH"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5 -7")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.5", "-7"]
+        assert all(t.kind == TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_operators(self):
+        tokens = tokenize("> >= < <= = !=")
+        assert [t.value for t in tokens[:-1]] == [">", ">=", "<", "<=", "=", "!="]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PQLTokenError):
+            tokenize("'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(PQLTokenError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == TokenKind.EOF
+
+
+class TestParser:
+    def test_binary_count_query(self):
+        query = parse("PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS")
+        assert query.task_type == TaskType.BINARY
+        assert query.target == Aggregate(func="count", table="orders")
+        assert query.comparison == Comparison(op=">", value=0)
+        assert query.entity_table == "customers"
+        assert query.entity_key == "id"
+        assert query.horizon_seconds == 30 * 86400
+
+    def test_regression_sum_query(self):
+        query = parse("PREDICT SUM(orders.amount) FOR EACH customers.id ASSUMING HORIZON 90 DAYS")
+        assert query.task_type == TaskType.REGRESSION
+        assert query.target.func == "sum"
+        assert query.target.column == "amount"
+
+    def test_link_query(self):
+        query = parse("PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 7 DAYS")
+        assert query.task_type == TaskType.LINK
+        assert isinstance(query.target, ListTarget)
+        assert query.target.column == "product_id"
+
+    def test_target_conditions(self):
+        query = parse(
+            "PREDICT COUNT(orders WHERE amount > 10 AND status = 'done') > 2 "
+            "FOR EACH customers.id ASSUMING HORIZON 14 DAYS"
+        )
+        assert len(query.target.conditions) == 2
+        assert query.target.conditions[0].column == "amount"
+        assert query.target.conditions[1].literal == "done"
+        assert query.comparison.value == 2
+
+    def test_qualified_condition_column(self):
+        query = parse(
+            "PREDICT COUNT(orders WHERE orders.amount > 10) > 0 "
+            "FOR EACH customers.id ASSUMING HORIZON 1 DAYS"
+        )
+        assert query.target.conditions[0].column == "amount"
+
+    def test_entity_conditions(self):
+        query = parse(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+            "WHERE region = 'eu' ASSUMING HORIZON 30 DAYS"
+        )
+        assert query.entity_conditions[0].column == "region"
+        assert query.entity_conditions[0].literal == "eu"
+
+    def test_is_null_conditions(self):
+        query = parse(
+            "PREDICT COUNT(orders WHERE coupon IS NULL) > 0 FOR EACH customers.id "
+            "ASSUMING HORIZON 30 DAYS"
+        )
+        assert query.target.conditions[0].op == "is_null"
+        query = parse(
+            "PREDICT COUNT(orders WHERE coupon IS NOT NULL) > 0 FOR EACH customers.id "
+            "ASSUMING HORIZON 30 DAYS"
+        )
+        assert query.target.conditions[0].op == "is_not_null"
+
+    def test_boolean_literal(self):
+        query = parse(
+            "PREDICT COUNT(orders WHERE returned = TRUE) > 0 FOR EACH customers.id "
+            "ASSUMING HORIZON 30 DAYS"
+        )
+        assert query.target.conditions[0].literal is True
+
+    def test_hours_horizon(self):
+        query = parse("PREDICT COUNT(events) > 0 FOR EACH users.id ASSUMING HORIZON 12 HOURS")
+        assert query.horizon_seconds == 12 * 3600
+
+    def test_fractional_horizon(self):
+        query = parse("PREDICT COUNT(events) > 0 FOR EACH users.id ASSUMING HORIZON 1.5 DAYS")
+        assert query.horizon_seconds == int(1.5 * 86400)
+
+    def test_exists_and_avg(self):
+        query = parse("PREDICT EXISTS(orders) = 1 FOR EACH customers.id ASSUMING HORIZON 5 DAYS")
+        assert query.target.func == "exists"
+        query = parse("PREDICT AVG(orders.amount) FOR EACH customers.id ASSUMING HORIZON 5 DAYS")
+        assert query.target.func == "avg"
+
+    def test_count_distinct(self):
+        query = parse(
+            "PREDICT COUNT_DISTINCT(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 5 DAYS"
+        )
+        assert query.target.func == "count_distinct"
+
+    def test_roundtrip_via_str(self):
+        text = "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+        query = parse(text)
+        assert parse(str(query)) == query
+
+    # ---- error cases --------------------------------------------------
+    def test_missing_predict(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS")
+
+    def test_sum_without_column(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT SUM(orders) FOR EACH customers.id ASSUMING HORIZON 30 DAYS")
+
+    def test_list_without_column(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT LIST(orders) FOR EACH customers.id ASSUMING HORIZON 30 DAYS")
+
+    def test_missing_horizon_unit(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30")
+
+    def test_zero_horizon(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 0 DAYS")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 1 DAYS extra")
+
+    def test_missing_entity_key(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("PREDICT COUNT(orders) > 0 FOR EACH customers ASSUMING HORIZON 1 DAYS")
+
+    def test_bad_literal_in_condition(self):
+        with pytest.raises(PQLSyntaxError):
+            parse(
+                "PREDICT COUNT(orders WHERE a > b) > 0 FOR EACH customers.id "
+                "ASSUMING HORIZON 1 DAYS"
+            )
+
+
+class TestAgeFilter:
+    def test_age_filter_parsed(self):
+        query = parse(
+            "PREDICT COUNT(votes) FOR EACH posts.id WHERE AGE < 7 DAYS ASSUMING HORIZON 14 DAYS"
+        )
+        assert query.entity_max_age_seconds == 7 * 86400
+        assert query.entity_conditions == ()
+
+    def test_age_filter_hours(self):
+        query = parse(
+            "PREDICT COUNT(votes) FOR EACH posts.id WHERE AGE <= 12 HOURS ASSUMING HORIZON 1 DAYS"
+        )
+        assert query.entity_max_age_seconds == 12 * 3600
+
+    def test_age_mixed_with_static_conditions(self):
+        query = parse(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+            "WHERE region = 'eu' AND AGE < 30 DAYS ASSUMING HORIZON 30 DAYS"
+        )
+        assert query.entity_max_age_seconds == 30 * 86400
+        assert query.entity_conditions[0].column == "region"
+
+    def test_duplicate_age_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse(
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+                "WHERE AGE < 1 DAYS AND AGE < 2 DAYS ASSUMING HORIZON 1 DAYS"
+            )
+
+    def test_age_requires_less_than(self):
+        with pytest.raises(PQLSyntaxError):
+            parse(
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+                "WHERE AGE > 1 DAYS ASSUMING HORIZON 1 DAYS"
+            )
+
+    def test_age_requires_unit(self):
+        with pytest.raises(PQLSyntaxError):
+            parse(
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id "
+                "WHERE AGE < 1 ASSUMING HORIZON 1 DAYS"
+            )
+
+    def test_age_roundtrip_via_str(self):
+        text = (
+            "PREDICT COUNT(votes) FOR EACH posts.id WHERE AGE < 7 DAYS "
+            "ASSUMING HORIZON 14 DAYS"
+        )
+        query = parse(text)
+        assert parse(str(query)) == query

@@ -1,0 +1,395 @@
+"""Integration tests for the query → trained-model compiler."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_ecommerce
+from repro.eval import make_temporal_split
+from repro.pql import PlannerConfig, PredictiveQueryPlanner, TaskType, parse
+
+DAY = 86400
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_ecommerce(num_customers=120, num_products=40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def split(db):
+    span = db.time_span()
+    return make_temporal_split(span[0], span[1], horizon_seconds=30 * DAY, num_train_cutoffs=2)
+
+
+def fast_config(**overrides):
+    defaults = dict(hidden_dim=16, num_layers=1, epochs=6, patience=3, batch_size=128, seed=0)
+    defaults.update(overrides)
+    return PlannerConfig(**defaults)
+
+
+class TestPlan:
+    def test_plan_accepts_string_and_ast(self, db):
+        planner = PredictiveQueryPlanner(db)
+        text = "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+        binding1 = planner.plan(text)
+        binding2 = planner.plan(parse(text))
+        assert binding1.query == binding2.query
+
+    def test_config_fanout_default(self):
+        config = PlannerConfig(num_layers=3)
+        assert config.resolved_fanouts() == [8, 8, 8]
+        config = PlannerConfig(num_layers=2, fanouts=[4, 2])
+        assert config.resolved_fanouts() == [4, 2]
+
+
+class TestBinaryPipeline:
+    def test_fit_and_evaluate(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config())
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        assert model.task_type == TaskType.BINARY
+        metrics = model.evaluate(split.test_cutoff)
+        assert metrics["auroc"] > 0.6  # small model/data, but far above chance
+        assert 0 <= metrics["accuracy"] <= 1
+
+    def test_predict_returns_probabilities(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=2))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:10]
+        preds = model.predict(keys, split.test_cutoff)
+        assert preds.shape == (10,)
+        assert np.all((preds >= 0) & (preds <= 1))
+
+    def test_rank_items_rejected_for_node_task(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        with pytest.raises(RuntimeError):
+            model.rank_items(np.array([0]), split.test_cutoff)
+
+
+class TestRegressionPipeline:
+    def test_fit_and_evaluate(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config())
+        model = planner.fit(
+            "PREDICT SUM(orders.amount) FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        assert model.task_type == TaskType.REGRESSION
+        metrics = model.evaluate(split.test_cutoff)
+        assert np.isfinite(metrics["mae"])
+        assert metrics["rmse"] >= metrics["mae"]
+
+
+class TestLinkPipeline:
+    def test_fit_and_evaluate(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=3))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        assert model.task_type == TaskType.LINK
+        metrics = model.evaluate(split.test_cutoff, k=10)
+        assert 0 <= metrics["mrr"] <= 1
+        assert metrics["num_queries"] > 0
+
+    def test_rank_items_shape(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        keys = db["customers"]["id"].values[:3]
+        results = model.rank_items(keys, split.test_cutoff, k=5)
+        assert len(results) == 3
+        item_keys, scores = results[0]
+        assert len(item_keys) == 5
+        assert np.all(np.diff(scores) <= 1e-12)  # descending
+
+    def test_predict_rejected_for_link_task(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        with pytest.raises(RuntimeError):
+            model.predict(np.array([0]), split.test_cutoff)
+
+
+class TestConfigKnobs:
+    def test_max_train_rows_caps(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, max_train_rows=20))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        # trained without error on the subsample; history exists
+        assert len(model.node_trainer.history.train_loss) >= 1
+
+    def test_leaky_mode_runs(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, time_respecting=False))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        assert np.isfinite(model.evaluate(split.test_cutoff)["auroc"])
+
+    def test_empty_training_rows_raise(self, db):
+        span = db.time_span()
+        # Cutoffs before any entity exists.
+        from repro.eval.splits import TemporalSplit
+
+        bad_split = TemporalSplit(
+            train_cutoffs=(span[0] - 100 * DAY,),
+            val_cutoff=span[0] - 50 * DAY,
+            test_cutoff=span[0] - 10 * DAY,
+        )
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        with pytest.raises(ValueError):
+            planner.fit(
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+                bad_split,
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_binary(self, db, split, tmp_path):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=2))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:20]
+        before = model.predict(keys, split.test_cutoff)
+        model.save(str(tmp_path / "model"))
+        reloaded = type(model).load(str(tmp_path / "model"), db)
+        after = reloaded.predict(keys, split.test_cutoff)
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+    def test_save_load_roundtrip_regression(self, db, split, tmp_path):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=2))
+        model = planner.fit(
+            "PREDICT SUM(orders.amount) FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:10]
+        before = model.predict(keys, split.test_cutoff)
+        model.save(str(tmp_path / "model"))
+        reloaded = type(model).load(str(tmp_path / "model"), db)
+        after = reloaded.predict(keys, split.test_cutoff)
+        # Target de-standardization parameters survive the roundtrip.
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+    def test_save_load_link_model(self, db, split, tmp_path):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        model.save(str(tmp_path / "model"))
+        reloaded = type(model).load(str(tmp_path / "model"), db)
+        keys = db["customers"]["id"].values[:2]
+        original = model.rank_items(keys, split.test_cutoff, k=5)
+        restored = reloaded.rank_items(keys, split.test_cutoff, k=5)
+        for (keys_a, scores_a), (keys_b, scores_b) in zip(original, restored):
+            np.testing.assert_array_equal(keys_a, keys_b)
+            np.testing.assert_allclose(scores_a, scores_b, atol=1e-10)
+
+
+class TestExplain:
+    def test_explain_ranks_order_relation_high(self, db, split):
+        from repro.pql import explain_relations
+
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=6))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:40]
+        importances = explain_relations(model, keys, split.test_cutoff)
+        # Every relation of the graph is scored.
+        assert len(importances) == len(model.graph.edge_types)
+        assert all(v >= 0 for v in importances.values())
+        # The customer<-orders relation carries the churn signal.
+        top_relation = next(iter(importances))
+        assert "orders" in top_relation
+
+    def test_explain_is_deterministic(self, db, split):
+        from repro.pql import explain_relations
+
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:10]
+        a = explain_relations(model, keys, split.test_cutoff, seed=3)
+        b = explain_relations(model, keys, split.test_cutoff, seed=3)
+        assert a == b
+
+    def test_explain_rejected_for_link(self, db, split):
+        from repro.pql import explain_relations
+
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        with pytest.raises(ValueError):
+            explain_relations(model, np.array([0]), split.test_cutoff)
+
+
+class TestAutoPosWeight:
+    def test_auto_pos_weight_set_for_binary(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, auto_pos_weight=True))
+        model = planner.fit(
+            "PREDICT COUNT(orders WHERE amount > 50) > 0 FOR EACH customers.id "
+            "ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        assert model.node_trainer.pos_weight is not None
+        assert model.node_trainer.pos_weight > 1.0  # positives are the minority
+
+    def test_auto_pos_weight_not_set_for_regression(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, auto_pos_weight=True))
+        model = planner.fit(
+            "PREDICT SUM(orders.amount) FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        assert model.node_trainer.pos_weight is None
+
+    def test_evaluate_includes_calibration(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        metrics = model.evaluate(split.test_cutoff)
+        assert 0 <= metrics["brier"] <= 1
+        assert 0 <= metrics["ece"] <= 1
+
+
+class TestVectorizedSamplerConfig:
+    def test_fit_with_vectorized_sampler(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=3, sampler_impl="vectorized"))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        metrics = model.evaluate(split.test_cutoff)
+        assert metrics["auroc"] > 0.6
+
+    def test_bad_sampler_impl(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, sampler_impl="quantum"))
+        with pytest.raises(ValueError):
+            planner.fit(
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+            )
+
+    def test_vectorized_save_load_roundtrip(self, db, split, tmp_path):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1, sampler_impl="vectorized"))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        keys = db["customers"]["id"].values[:8]
+        before = model.predict(keys, split.test_cutoff)
+        model.save(str(tmp_path / "m"))
+        restored = type(model).load(str(tmp_path / "m"), db)
+        np.testing.assert_allclose(before, restored.predict(keys, split.test_cutoff), atol=1e-10)
+
+
+class TestViaPipeline:
+    def test_via_task_trains_end_to_end(self):
+        """The registered two-hop (VIA) forum task runs through the planner."""
+        from repro.datasets import make_forum
+        from repro.eval import make_temporal_split
+
+        db = make_forum(num_users=60, seed=0)
+        span = db.time_span()
+        split = make_temporal_split(span[0], span[1], 14 * DAY, num_train_cutoffs=2)
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=2))
+        model = planner.fit(
+            "PREDICT COUNT(votes VIA posts) FOR EACH users.id ASSUMING HORIZON 14 DAYS",
+            split,
+        )
+        metrics = model.evaluate(split.test_cutoff)
+        assert np.isfinite(metrics["mae"])
+        assert metrics["num_examples"] > 0
+
+
+class TestMaterialize:
+    def test_materialize_predictions_table(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS", split
+        )
+        table = model.materialize(split.test_cutoff, table_name="churn_scores")
+        assert table.name == "churn_scores"
+        assert table.num_rows == db["customers"].num_rows
+        scores = np.asarray(table["score"].to_list())
+        assert np.all((scores >= 0) & (scores <= 1))
+        # The table is SQL-queryable like any other.
+        from repro.relational import Database, execute_sql
+
+        scratch = Database("scratch")
+        scratch.add_table(table)
+        top = execute_sql(
+            scratch, "SELECT entity_key FROM churn_scores ORDER BY score DESC LIMIT 3"
+        )
+        assert top.num_rows == 3
+
+    def test_materialize_rejected_for_link(self, db, split):
+        planner = PredictiveQueryPlanner(db, fast_config(epochs=1))
+        model = planner.fit(
+            "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+        )
+        with pytest.raises(RuntimeError):
+            model.materialize(split.test_cutoff)
+
+
+class TestTuning:
+    def test_grid_search_selects_on_validation(self, db, split):
+        from repro.pql import tune
+
+        result = tune(
+            db,
+            "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+            grid={"hidden_dim": [8, 16]},
+            base_config=fast_config(epochs=2),
+        )
+        assert len(result.leaderboard) == 2
+        assert result.metric == "auroc"
+        assert result.best_params["hidden_dim"] in (8, 16)
+        # Leaderboard is best-first for a higher-is-better metric.
+        assert result.leaderboard[0].score >= result.leaderboard[-1].score
+        # The returned model predicts.
+        preds = result.best_model.predict(db["customers"]["id"].values[:4], split.test_cutoff)
+        assert preds.shape == (4,)
+
+    def test_regression_minimizes_mae(self, db, split):
+        from repro.pql import tune
+
+        result = tune(
+            db,
+            "PREDICT SUM(orders.amount) FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+            split,
+            grid={"num_layers": [0, 1]},
+            base_config=fast_config(epochs=2),
+        )
+        assert result.metric == "mae"
+        assert not result.higher_is_better
+        assert result.leaderboard[0].score <= result.leaderboard[-1].score
+
+    def test_empty_grid_rejected(self, db, split):
+        from repro.pql import tune
+
+        with pytest.raises(ValueError):
+            tune(db, "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+                 split, grid={})
+
+    def test_unknown_field_rejected(self, db, split):
+        from repro.pql import tune
+
+        with pytest.raises(KeyError):
+            tune(
+                db,
+                "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS",
+                split,
+                grid={"warp_factor": [9]},
+            )

@@ -1,0 +1,250 @@
+"""Tests for the SQL SELECT dialect."""
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    ColumnSpec,
+    Database,
+    DType,
+    ForeignKey,
+    Table,
+    TableSchema,
+)
+from repro.relational.sql import SQLError, execute_sql
+
+
+def shop():
+    db = Database("shop")
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "customers",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("region", DType.STRING),
+                    ColumnSpec("vip", DType.BOOL),
+                ],
+                primary_key="id",
+            ),
+            {"id": [1, 2, 3], "region": ["eu", "us", "eu"], "vip": [True, False, None]},
+        )
+    )
+    db.add_table(
+        Table.from_dict(
+            TableSchema(
+                "orders",
+                [
+                    ColumnSpec("id", DType.INT64),
+                    ColumnSpec("customer_id", DType.INT64),
+                    ColumnSpec("amount", DType.FLOAT64),
+                ],
+                primary_key="id",
+                foreign_keys=[ForeignKey("customer_id", "customers", "id")],
+            ),
+            {
+                "id": [10, 11, 12, 13],
+                "customer_id": [1, 1, 2, 3],
+                "amount": [5.0, 15.0, 7.0, None],
+            },
+        )
+    )
+    return db
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        out = execute_sql(shop(), "SELECT * FROM customers")
+        assert out.num_rows == 3
+        assert out.column_names == ["id", "region", "vip"]
+
+    def test_projection(self):
+        out = execute_sql(shop(), "SELECT region, id FROM customers")
+        assert out.column_names == ["region", "id"]
+
+    def test_alias(self):
+        out = execute_sql(shop(), "SELECT region AS r FROM customers")
+        assert out.column_names == ["r"]
+
+    def test_where_numeric(self):
+        out = execute_sql(shop(), "SELECT id FROM orders WHERE amount > 6")
+        assert sorted(out["id"].to_list()) == [11, 12]
+
+    def test_where_string_equality(self):
+        out = execute_sql(shop(), "SELECT id FROM customers WHERE region = 'eu'")
+        assert sorted(out["id"].to_list()) == [1, 3]
+
+    def test_where_bool(self):
+        out = execute_sql(shop(), "SELECT id FROM customers WHERE vip = TRUE")
+        assert out["id"].to_list() == [1]
+
+    def test_where_is_null(self):
+        out = execute_sql(shop(), "SELECT id FROM orders WHERE amount IS NULL")
+        assert out["id"].to_list() == [13]
+        out = execute_sql(shop(), "SELECT id FROM orders WHERE amount IS NOT NULL")
+        assert out.num_rows == 3
+
+    def test_where_and(self):
+        out = execute_sql(shop(), "SELECT id FROM orders WHERE amount > 4 AND amount < 10")
+        assert sorted(out["id"].to_list()) == [10, 12]
+
+    def test_order_by_and_limit(self):
+        out = execute_sql(shop(), "SELECT id FROM orders WHERE amount IS NOT NULL ORDER BY amount DESC LIMIT 2")
+        assert out["id"].to_list() == [11, 12]
+
+    def test_order_by_asc_default(self):
+        out = execute_sql(shop(), "SELECT amount FROM orders WHERE amount IS NOT NULL ORDER BY amount")
+        assert out["amount"].to_list() == [5.0, 7.0, 15.0]
+
+
+class TestJoin:
+    def test_inner_join(self):
+        out = execute_sql(
+            shop(),
+            "SELECT orders.id, customers.region FROM orders "
+            "JOIN customers ON orders.customer_id = customers.id",
+        )
+        assert out.num_rows == 4
+        assert "region" in out.column_names
+
+    def test_join_then_filter(self):
+        out = execute_sql(
+            shop(),
+            "SELECT orders.id FROM orders "
+            "JOIN customers ON orders.customer_id = customers.id "
+            "WHERE customers.region = 'eu'",
+        )
+        assert sorted(out["id"].to_list()) == [10, 11, 13]
+
+    def test_join_suffixed_column_resolution(self):
+        # customers.id collides with orders.id -> becomes id_right.
+        out = execute_sql(
+            shop(),
+            "SELECT customers.id AS cid FROM orders "
+            "JOIN customers ON orders.customer_id = customers.id",
+        )
+        assert out.column_names == ["cid"]
+        assert sorted(out["cid"].to_list()) == [1, 1, 2, 3]
+
+
+class TestAggregates:
+    def test_count_star(self):
+        out = execute_sql(shop(), "SELECT COUNT(*) FROM orders")
+        assert out.num_rows == 1
+        assert out["count"].to_list() == [4.0]
+
+    def test_global_sum_avg(self):
+        out = execute_sql(shop(), "SELECT SUM(amount) AS s, AVG(amount) AS a FROM orders")
+        assert out["s"].to_list() == [27.0]
+        assert out["a"].to_list() == [9.0]
+
+    def test_group_by(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customer_id, COUNT(*) AS n, SUM(amount) AS total "
+            "FROM orders GROUP BY customer_id",
+        )
+        by_key = {row["customer_id"]: (row["n"], row["total"]) for row in out.iter_rows()}
+        assert by_key == {1: (2.0, 20.0), 2: (1.0, 7.0), 3: (1.0, 0.0)}
+
+    def test_group_by_with_join(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customers.region, COUNT(*) AS n FROM orders "
+            "JOIN customers ON orders.customer_id = customers.id "
+            "GROUP BY customers.region",
+        )
+        by_key = {row["region"]: row["n"] for row in out.iter_rows()}
+        assert by_key == {"eu": 3.0, "us": 1.0}
+
+    def test_group_by_order_by_aggregate(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customer_id, COUNT(*) AS n FROM orders GROUP BY customer_id ORDER BY n DESC LIMIT 1",
+        )
+        assert out["customer_id"].to_list() == [1]
+
+    def test_min_max(self):
+        out = execute_sql(shop(), "SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM orders")
+        assert out["lo"].to_list() == [5.0]
+        assert out["hi"].to_list() == [15.0]
+
+    def test_aggregate_on_empty_filter(self):
+        out = execute_sql(shop(), "SELECT COUNT(*) AS n FROM orders WHERE amount > 1000")
+        assert out["n"].to_list() == [0.0]
+
+
+class TestErrors:
+    def test_unknown_table(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT * FROM ghosts")
+
+    def test_unknown_column(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT nope FROM customers")
+
+    def test_non_grouped_column(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT region, COUNT(*) FROM customers")
+
+    def test_star_with_aggregate(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT *, COUNT(*) FROM customers GROUP BY region")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT * FROM customers WHERE region = 'eu")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT * FROM customers extra")
+
+    def test_unknown_join_table(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT * FROM orders JOIN ghosts ON orders.id = ghosts.id")
+
+    def test_bad_character(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT * FROM customers WHERE id @ 1")
+
+
+class TestDistinctAndHaving:
+    def test_distinct_single_column(self):
+        out = execute_sql(shop(), "SELECT DISTINCT region FROM customers")
+        assert sorted(out["region"].to_list()) == ["eu", "us"]
+
+    def test_distinct_multi_column_keeps_unique_pairs(self):
+        out = execute_sql(shop(), "SELECT DISTINCT customer_id, amount FROM orders")
+        assert out.num_rows == 4  # all rows already distinct
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        out = execute_sql(shop(), "SELECT DISTINCT region FROM customers")
+        assert out["region"].to_list() == ["eu", "us"]
+
+    def test_having_filters_groups(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customer_id, COUNT(*) AS n FROM orders GROUP BY customer_id HAVING n > 1",
+        )
+        assert out["customer_id"].to_list() == [1]
+        assert out["n"].to_list() == [2.0]
+
+    def test_having_with_multiple_conditions(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customer_id, SUM(amount) AS total FROM orders "
+            "GROUP BY customer_id HAVING total > 1 AND total < 10",
+        )
+        assert out["customer_id"].to_list() == [2]
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SQLError):
+            execute_sql(shop(), "SELECT COUNT(*) AS n FROM orders HAVING n > 1")
+
+    def test_having_then_order_by(self):
+        out = execute_sql(
+            shop(),
+            "SELECT customer_id, COUNT(*) AS n FROM orders GROUP BY customer_id "
+            "HAVING n >= 1 ORDER BY n DESC",
+        )
+        assert out["n"].to_list() == [2.0, 1.0, 1.0]
