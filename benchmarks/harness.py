@@ -10,13 +10,14 @@ keep the whole suite runnable in a few minutes on a laptop CPU.
 
 from __future__ import annotations
 
+import contextlib
 import functools
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.baselines import (
     BPRMatrixFactorization,
     FeatureBuilder,
@@ -58,6 +59,29 @@ def fit_pql_gnn(db, query: str, split: TemporalSplit, **overrides):
     return planner.fit(query, split)
 
 
+@contextlib.contextmanager
+def row_trace():
+    """Span collection for one benchmark row.
+
+    Yields a live :class:`repro.obs.Trace` (or ``None`` when a caller
+    higher up — e.g. the CLI profiler — already owns the collection
+    window; the spans then land on that trace instead).  Use
+    :func:`row_timings` on the yielded value after the block.
+    """
+    if obs.enabled():
+        yield None
+        return
+    with obs.collect() as trace:
+        yield trace
+
+
+def row_timings(trace) -> Dict[str, float]:
+    """Flat stage → seconds dict for one benchmark row's trace."""
+    if trace is None:
+        return {}
+    return {name: round(seconds, 6) for name, seconds in obs.stage_timings(trace).items()}
+
+
 def node_task_tables(db, query: str, split: TemporalSplit):
     """(train, val, test) label tables for a node task."""
     planner = PredictiveQueryPlanner(db)
@@ -83,23 +107,28 @@ def classification_row(db, query: str, split: TemporalSplit) -> Dict[str, Dict[s
     entity = binding.query.entity_table
     results: Dict[str, Dict[str, float]] = {}
 
-    model = fit_pql_gnn(db, query, split)
-    results["pql_gnn"] = model.evaluate(split.test_cutoff)
+    with row_trace() as trace:
+        model = fit_pql_gnn(db, query, split)
+        results["pql_gnn"] = model.evaluate(split.test_cutoff)
 
-    _, x_train, x_val, x_test = manual_features(db, entity, train, val, test)
-    gbdt = GradientBoostingClassifier(num_rounds=200, learning_rate=0.1, max_depth=4)
-    gbdt.fit(x_train, train.labels, eval_set=(x_val, val.labels))
-    scores = gbdt.predict_proba(x_test)
-    results["gbdt"] = {"auroc": auroc(test.labels, scores), "average_precision": average_precision(test.labels, scores)}
+        with obs.span("baselines.features"):
+            _, x_train, x_val, x_test = manual_features(db, entity, train, val, test)
+        with obs.span("baselines.gbdt"):
+            gbdt = GradientBoostingClassifier(num_rounds=200, learning_rate=0.1, max_depth=4)
+            gbdt.fit(x_train, train.labels, eval_set=(x_val, val.labels))
+            scores = gbdt.predict_proba(x_test)
+        results["gbdt"] = {"auroc": auroc(test.labels, scores), "average_precision": average_precision(test.labels, scores)}
 
-    logistic = LogisticRegression(alpha=1.0).fit(x_train, train.labels)
-    scores = logistic.predict_proba(x_test)
-    results["logistic"] = {"auroc": auroc(test.labels, scores), "average_precision": average_precision(test.labels, scores)}
+        with obs.span("baselines.logistic"):
+            logistic = LogisticRegression(alpha=1.0).fit(x_train, train.labels)
+            scores = logistic.predict_proba(x_test)
+        results["logistic"] = {"auroc": auroc(test.labels, scores), "average_precision": average_precision(test.labels, scores)}
 
-    majority = MajorityClassBaseline().fit(train.labels)
-    scores = majority.predict_proba(len(test))
-    results["majority"] = {"auroc": 0.5, "average_precision": average_precision(test.labels, scores)}
+        majority = MajorityClassBaseline().fit(train.labels)
+        scores = majority.predict_proba(len(test))
+        results["majority"] = {"auroc": 0.5, "average_precision": average_precision(test.labels, scores)}
     results["_meta"] = {"num_test": float(len(test)), "positive_rate": test.positive_rate}
+    results["_timings"] = row_timings(trace)
     return results
 
 
@@ -109,23 +138,28 @@ def regression_row(db, query: str, split: TemporalSplit) -> Dict[str, Dict[str, 
     entity = binding.query.entity_table
     results: Dict[str, Dict[str, float]] = {}
 
-    model = fit_pql_gnn(db, query, split)
-    results["pql_gnn"] = model.evaluate(split.test_cutoff)
+    with row_trace() as trace:
+        model = fit_pql_gnn(db, query, split)
+        results["pql_gnn"] = model.evaluate(split.test_cutoff)
 
-    _, x_train, x_val, x_test = manual_features(db, entity, train, val, test)
-    gbdt = GradientBoostingRegressor(num_rounds=200, learning_rate=0.1, max_depth=4)
-    gbdt.fit(x_train, train.labels, eval_set=(x_val, val.labels))
-    preds = gbdt.predict(x_test)
-    results["gbdt"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
+        with obs.span("baselines.features"):
+            _, x_train, x_val, x_test = manual_features(db, entity, train, val, test)
+        with obs.span("baselines.gbdt"):
+            gbdt = GradientBoostingRegressor(num_rounds=200, learning_rate=0.1, max_depth=4)
+            gbdt.fit(x_train, train.labels, eval_set=(x_val, val.labels))
+            preds = gbdt.predict(x_test)
+        results["gbdt"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
 
-    ridge = LinearRegression(alpha=1.0).fit(x_train, train.labels)
-    preds = ridge.predict(x_test)
-    results["ridge"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
+        with obs.span("baselines.ridge"):
+            ridge = LinearRegression(alpha=1.0).fit(x_train, train.labels)
+            preds = ridge.predict(x_test)
+        results["ridge"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
 
-    mean = GlobalMeanBaseline().fit(train.labels)
-    preds = mean.predict(len(test))
-    results["global_mean"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
+        mean = GlobalMeanBaseline().fit(train.labels)
+        preds = mean.predict(len(test))
+        results["global_mean"] = {"mae": mae(test.labels, preds), "rmse": rmse(test.labels, preds)}
     results["_meta"] = {"num_test": float(len(test)), "target_mean": float(test.labels.mean())}
+    results["_timings"] = row_timings(trace)
     return results
 
 
@@ -140,9 +174,16 @@ def link_row(db, query: str, split: TemporalSplit, k: int = 10) -> Dict[str, Dic
     test = test.subset(keep)
 
     results: Dict[str, Dict[str, float]] = {}
-    model = fit_pql_gnn(db, query, split, epochs=10)
-    results["pql_two_tower"] = model.evaluate(split.test_cutoff, k=k)
+    with row_trace() as trace:
+        model = fit_pql_gnn(db, query, split, epochs=10)
+        results["pql_two_tower"] = model.evaluate(split.test_cutoff, k=k)
+        _link_baselines(db, binding, item_table, train, test, results, k)
+    results["_timings"] = row_timings(trace)
+    return results
 
+
+def _link_baselines(db, binding, item_table, train, test, results, k) -> None:
+    """Matrix-factorization and popularity rows (inside the row trace)."""
     item_keys = db[item_table][db[item_table].schema.primary_key].values
     num_items = len(item_keys)
     item_to_col = {key: i for i, key in enumerate(item_keys.tolist())}
@@ -172,16 +213,16 @@ def link_row(db, query: str, split: TemporalSplit, k: int = 10) -> Dict[str, Dic
             f"ndcg@{k}": ndcg_at_k(lists, relevance, k),
         }
 
-    mf = BPRMatrixFactorization(len(entity_keys), num_items, dim=16, epochs=15, seed=0)
-    mf.fit(train_users, train_items)
-    results["matrix_factorization"] = rank_metrics(
-        mf.score_all(np.asarray([user_to_row[key] for key in test.entity_keys.tolist()]))
-    )
+    with obs.span("baselines.matrix_factorization"):
+        mf = BPRMatrixFactorization(len(entity_keys), num_items, dim=16, epochs=15, seed=0)
+        mf.fit(train_users, train_items)
+        results["matrix_factorization"] = rank_metrics(
+            mf.score_all(np.asarray([user_to_row[key] for key in test.entity_keys.tolist()]))
+        )
 
     popularity = PopularityRanker(num_items).fit(train_items)
     results["popularity"] = rank_metrics(popularity.score_all(len(test)))
     results["_meta"] = {"num_queries": float(len(test)), "num_items": float(num_items)}
-    return results
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:

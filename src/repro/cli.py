@@ -16,6 +16,14 @@
 
     python -m repro sql --dataset ecommerce "SELECT COUNT(*) FROM orders"
         Run a SQL SELECT against a generated dataset and print rows.
+
+Observability flags (``fit`` / ``query``):
+
+* ``--profile`` prints an EXPLAIN ANALYZE-style stage tree — wall time
+  per compile stage plus sampler/trainer counters.
+* ``--trace-json PATH`` writes the full span tree and metrics as JSON.
+* ``-v`` / ``-vv`` raise log verbosity to INFO / DEBUG (all
+  subcommands, including ``sql``).
 """
 
 from __future__ import annotations
@@ -24,12 +32,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.datasets import REGISTRY, get_dataset
 from repro.eval.splits import make_temporal_split
+from repro.obs import trace as obs_trace
 from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
 from repro.relational.sql import execute_sql
 
 __all__ = ["main"]
+
+_log = obs.get_logger("cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +51,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("tasks", help="list datasets and their tasks")
+    def add_verbosity(p):
+        p.add_argument(
+            "-v", "--verbose", action="count", default=0,
+            help="-v for INFO logging, -vv for DEBUG",
+        )
+
+    tasks = sub.add_parser("tasks", help="list datasets and their tasks")
+    add_verbosity(tasks)
 
     def add_common(p):
         p.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
@@ -49,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--layers", type=int, default=2)
         p.add_argument("--hidden", type=int, default=32)
         p.add_argument("--conv", choices=["sage", "gat"], default="sage")
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print an EXPLAIN ANALYZE-style stage tree after the run",
+        )
+        p.add_argument(
+            "--trace-json", metavar="PATH",
+            help="write the span tree + metrics as JSON to PATH",
+        )
+        add_verbosity(p)
 
     fit = sub.add_parser("fit", help="train a registered benchmark task")
     add_common(fit)
@@ -66,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--seed", type=int, default=0)
     sql.add_argument("statement", help="the SELECT statement")
     sql.add_argument("--max-rows", type=int, default=20)
+    add_verbosity(sql)
     return parser
 
 
@@ -88,6 +117,20 @@ def _planner_config(args: argparse.Namespace) -> PlannerConfig:
     )
 
 
+def _build_dataset(args: argparse.Namespace):
+    spec = get_dataset(args.dataset)
+    _log.info(
+        "generating dataset", extra={"dataset": args.dataset, "scale": args.scale, "seed": args.seed},
+    )
+    with obs_trace.span("cli.dataset_build"):
+        db = spec.build(scale=args.scale, seed=args.seed)
+    _log.info(
+        "dataset ready",
+        extra={"dataset": args.dataset, "rows": sum(t.num_rows for t in db)},
+    )
+    return spec, db
+
+
 def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Optional[str]) -> int:
     span = db.time_span()
     horizon = parse(query_text).horizon_seconds
@@ -98,7 +141,15 @@ def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Opt
         f"val@{split.val_cutoff}, test@{split.test_cutoff}"
     )
     planner = PredictiveQueryPlanner(db, _planner_config(args))
+    _log.info("fit started", extra={"epochs": args.epochs, "layers": args.layers})
     model = planner.fit(query_text, split)
+    history = (model.node_trainer or model.link_trainer).history
+    if history.epoch_seconds:
+        print(
+            f"trained {len(history.epoch_seconds)} epochs in "
+            f"{history.total_seconds:.2f}s "
+            f"({history.examples_per_sec[-1]:.0f} examples/sec last epoch)"
+        )
     print("test metrics:")
     for name, value in model.evaluate(split.test_cutoff).items():
         print(f"  {name:<20} {value:.4f}")
@@ -108,10 +159,49 @@ def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Opt
     return 0
 
 
+def _run_traced(args: argparse.Namespace, run) -> int:
+    """Run ``run()`` under trace collection when --profile/--trace-json ask for it."""
+    profiling = bool(args.profile or args.trace_json)
+    if not profiling:
+        return run()
+    registry = obs.get_registry()
+    registry.reset()
+    with obs.collect() as trace:
+        code = run()
+    _publish_trainer_metrics(registry, trace)
+    if args.profile:
+        print()
+        print(obs.render_trace(trace, registry))
+    if args.trace_json:
+        obs.write_trace_json(args.trace_json, trace, registry)
+        print(f"trace written to {args.trace_json}")
+    return code
+
+
+def _publish_trainer_metrics(registry, trace) -> None:
+    """Summarize span counters into the metrics registry for export."""
+    train_span = trace.find("planner.train")
+    if train_span is None:
+        return
+    totals = {}
+    for span in trace.iter_spans():
+        for name, value in span.counters.items():
+            totals[name] = totals.get(name, 0.0) + value
+    epochs = totals.get("train.epochs", 0.0)
+    seconds = totals.get("train.seconds", 0.0)
+    if epochs:
+        registry.gauge("train.epochs").set(epochs)
+        registry.gauge("train.mean_epoch_seconds").set(seconds / epochs)
+    if seconds > 0:
+        registry.gauge("train.examples_per_sec").set(totals.get("train.examples", 0.0) / seconds)
+    for name in ("sampler.nodes_sampled", "sampler.edges_sampled", "sampler.fanout_truncations"):
+        if name in totals:
+            registry.counter(name).inc(totals[name])
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
-    spec = get_dataset(args.dataset)
-    task = spec.task(args.task)
-    db = spec.build(scale=args.scale, seed=args.seed)
+    task = get_dataset(args.dataset).task(args.task)
+    _, db = _build_dataset(args)
     print(f"dataset {args.dataset} (scale {args.scale}): " + ", ".join(
         f"{t.name}={t.num_rows}" for t in db
     ))
@@ -119,14 +209,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    spec = get_dataset(args.dataset)
-    db = spec.build(scale=args.scale, seed=args.seed)
+    _, db = _build_dataset(args)
     return _fit_and_report(db, args.pql, args.train_cutoffs, args, None)
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
-    spec = get_dataset(args.dataset)
-    db = spec.build(scale=args.scale, seed=args.seed)
+    _, db = _build_dataset(args)
     result = execute_sql(db, args.statement)
     print("  ".join(result.column_names))
     for i, row in enumerate(result.iter_rows()):
@@ -140,12 +228,13 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    obs.configure_logging(getattr(args, "verbose", 0))
     if args.command == "tasks":
         return _cmd_tasks()
     if args.command == "fit":
-        return _cmd_fit(args)
+        return _run_traced(args, lambda: _cmd_fit(args))
     if args.command == "query":
-        return _cmd_query(args)
+        return _run_traced(args, lambda: _cmd_query(args))
     if args.command == "sql":
         return _cmd_sql(args)
     raise AssertionError(f"unhandled command {args.command!r}")

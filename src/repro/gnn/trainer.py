@@ -8,6 +8,7 @@ best-weight restoration.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -19,10 +20,14 @@ from repro.graph.sampler import NeighborSampler
 from repro.nn.losses import binary_cross_entropy_with_logits, bpr_loss, cross_entropy, mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import no_grad
+from repro.obs import get_logger
+from repro.obs import trace as obs_trace
 
 __all__ = ["TrainConfig", "NodeTaskTrainer", "LinkTaskTrainer"]
 
 _TASK_TYPES = ("binary", "multiclass", "regression")
+
+_log = get_logger("gnn.trainer")
 
 
 @dataclass
@@ -40,9 +45,49 @@ class TrainConfig:
 
 @dataclass
 class _History:
+    """Per-epoch training telemetry returned by ``fit``.
+
+    Beyond losses, each epoch records its wall time, its training
+    throughput (examples per second), and how many optimizer steps
+    activated gradient clipping (pre-clip norm above ``clip_norm``).
+    """
+
     train_loss: List[float] = field(default_factory=list)
     val_loss: List[float] = field(default_factory=list)
     best_epoch: int = -1
+    epoch_seconds: List[float] = field(default_factory=list)
+    examples_per_sec: List[float] = field(default_factory=list)
+    clip_events: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over recorded epochs."""
+        return float(sum(self.epoch_seconds))
+
+
+def _record_epoch(
+    history: _History, epoch: int, clock_start: float, num_examples: int, clip_events: int
+) -> None:
+    """Stamp one finished epoch's wall time, throughput, and clip count."""
+    elapsed = time.perf_counter() - clock_start
+    history.epoch_seconds.append(elapsed)
+    history.examples_per_sec.append(num_examples / elapsed if elapsed > 0 else 0.0)
+    history.clip_events += int(clip_events)
+    if obs_trace.enabled():
+        obs_trace.add_counter("train.epochs")
+        obs_trace.add_counter("train.examples", num_examples)
+        obs_trace.add_counter("train.clip_events", clip_events)
+        obs_trace.add_counter("train.seconds", elapsed)
+    _log.info(
+        "epoch finished",
+        extra={
+            "epoch": epoch,
+            "train_loss": round(history.train_loss[-1], 6) if history.train_loss else None,
+            "seconds": round(elapsed, 4),
+            "examples_per_sec": round(history.examples_per_sec[-1], 1),
+            "clip_events": int(clip_events),
+        },
+    )
 
 
 class NodeTaskTrainer:
@@ -119,6 +164,8 @@ class NodeTaskTrainer:
 
         for epoch in range(self.config.epochs):
             self.model.train()
+            epoch_clock = time.perf_counter()
+            clip_events = 0
             order = self._rng.permutation(len(train_ids))
             epoch_losses = []
             for start in range(0, len(order), self.config.batch_size):
@@ -128,10 +175,12 @@ class NodeTaskTrainer:
                 )
                 optimizer.zero_grad()
                 loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                clip_events += norm > self.config.clip_norm
                 optimizer.step()
                 epoch_losses.append(loss.item())
             self.history.train_loss.append(float(np.mean(epoch_losses)))
+            _record_epoch(self.history, epoch, epoch_clock, len(train_ids), clip_events)
 
             if val_ids is None:
                 continue
@@ -264,6 +313,8 @@ class LinkTaskTrainer:
         stale = 0
         for epoch in range(self.config.epochs):
             self.model.train()
+            epoch_clock = time.perf_counter()
+            clip_events = 0
             order = self._rng.permutation(len(query_ids))
             losses = []
             for start in range(0, len(order), self.config.batch_size):
@@ -273,10 +324,12 @@ class LinkTaskTrainer:
                 )
                 optimizer.zero_grad()
                 loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                clip_events += norm > self.config.clip_norm
                 optimizer.step()
                 losses.append(loss.item())
             self.history.train_loss.append(float(np.mean(losses)))
+            _record_epoch(self.history, epoch, epoch_clock, len(query_ids), clip_events)
 
             if val_query_ids is None:
                 continue

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.graph.hetero import EdgeType, HeteroGraph
 from repro.graph.sampler import SampledSubgraph
+from repro.obs import trace as obs_trace
 
 __all__ = ["VectorizedNeighborSampler"]
 
@@ -134,11 +135,12 @@ class VectorizedNeighborSampler:
             self._record_degrees(subgraph, seed_type, origs, times, locals_)
             frontier[seed_type] = (origs, times, locals_)
 
+        truncations = 0
         for fanout in self.fanouts:
             next_frontier: Dict[str, List[Tuple[int, int, int]]] = {}
             for node_type, (origs, times, locals_) in frontier.items():
                 for edge_type in self._edge_types_into[node_type]:
-                    self._expand_edge_type(
+                    truncations += self._expand_edge_type(
                         subgraph, edge_type, origs, times, locals_, fanout, next_frontier
                     )
             frontier = {
@@ -152,6 +154,12 @@ class VectorizedNeighborSampler:
             }
             for node_type, (origs, times, locals_) in frontier.items():
                 self._record_degrees(subgraph, node_type, origs, times, locals_)
+        if obs_trace.enabled():
+            obs_trace.add_counter("sampler.calls")
+            obs_trace.add_counter("sampler.seeds", len(seed_ids))
+            obs_trace.add_counter("sampler.nodes_sampled", subgraph.total_nodes())
+            obs_trace.add_counter("sampler.edges_sampled", subgraph.total_edges())
+            obs_trace.add_counter("sampler.fanout_truncations", truncations)
         return subgraph
 
     def _expand_edge_type(
@@ -163,12 +171,13 @@ class VectorizedNeighborSampler:
         dst_locals: np.ndarray,
         fanout: int,
         next_frontier: Dict[str, List[Tuple[int, int, int]]],
-    ) -> None:
+    ) -> int:
+        """Expand one edge type; returns the fanout-truncated node count."""
         store = self.graph._edges[edge_type]
         starts, counts = self._valid_counts(edge_type, dst_origs, ctx_times)
         has_neighbors = counts > 0
         if not has_neighbors.any():
-            return
+            return 0
         rows = np.flatnonzero(has_neighbors)
         small = rows[counts[rows] <= fanout]
         large = rows[counts[rows] > fanout]
@@ -222,6 +231,7 @@ class VectorizedNeighborSampler:
             if is_new:
                 entries.append((nbr, ctx, local))
         subgraph.add_edges(edge_type, unique_locals[inverse], dsts)
+        return len(large)
 
     def _record_degrees(
         self,

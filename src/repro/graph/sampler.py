@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.graph.hetero import EdgeType, HeteroGraph
+from repro.obs import trace as obs_trace
 
 __all__ = ["SampledSubgraph", "NeighborSampler"]
 
@@ -195,11 +196,13 @@ class NeighborSampler:
                 frontier.append((seed_type, orig, time, local))
         subgraph.seed_locals = seed_locals
 
+        truncations = 0
         for fanout in self.fanouts:
             next_frontier: List[Tuple[str, int, int, int]] = []
             for node_type, orig, ctx_time, local in frontier:
                 for edge_type in self._edge_types_into[node_type]:
-                    neighbors = self._sample_neighbors(edge_type, orig, ctx_time, fanout)
+                    neighbors, truncated = self._sample_neighbors(edge_type, orig, ctx_time, fanout)
+                    truncations += truncated
                     for nbr in neighbors:
                         nbr_local, new = subgraph.add_node(edge_type.src, int(nbr), ctx_time)
                         subgraph.add_edge(edge_type, nbr_local, local)
@@ -209,6 +212,12 @@ class NeighborSampler:
                             )
                             next_frontier.append((edge_type.src, int(nbr), ctx_time, nbr_local))
             frontier = next_frontier
+        if obs_trace.enabled():
+            obs_trace.add_counter("sampler.calls")
+            obs_trace.add_counter("sampler.seeds", len(seed_ids))
+            obs_trace.add_counter("sampler.nodes_sampled", subgraph.total_nodes())
+            obs_trace.add_counter("sampler.edges_sampled", subgraph.total_edges())
+            obs_trace.add_counter("sampler.fanout_truncations", truncations)
         return subgraph
 
     def _record_degrees(
@@ -226,12 +235,13 @@ class NeighborSampler:
 
     def _sample_neighbors(
         self, edge_type: EdgeType, dst: int, ctx_time: int, fanout: int
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, bool]:
+        """(sampled neighbors, whether the fanout cap truncated them)."""
         if self.time_respecting:
             candidates, _ = self.graph.neighbors_before(edge_type, dst, ctx_time)
         else:
             candidates = self.graph.all_neighbors(edge_type, dst)
         if len(candidates) <= fanout:
-            return candidates
+            return candidates, False
         picks = self.rng.choice(len(candidates), size=fanout, replace=False)
-        return candidates[picks]
+        return candidates[picks], True

@@ -1,0 +1,62 @@
+"""Observability for the predictive-query compiler.
+
+Three complementary instruments, all dependency-free:
+
+* :mod:`repro.obs.trace` — nestable wall-time spans with per-span
+  counters; off by default, a true no-op until a ``collect()`` window
+  opens.
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms
+  (p50/p95/max summaries) with JSON export.
+* :mod:`repro.obs.logs` — stdlib-``logging`` structured loggers under
+  the ``repro.*`` namespace with one ``configure_logging(verbosity)``
+  entry point.
+
+:mod:`repro.obs.report` renders a collected trace as the EXPLAIN
+ANALYZE-style stage tree the CLI prints under ``--profile``.
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.report import render_trace, stage_timings, trace_document, write_trace_json
+from repro.obs.trace import (
+    Span,
+    Trace,
+    add_counter,
+    collect,
+    current_span,
+    enabled,
+    span,
+    start_collection,
+    stop_collection,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "add_counter",
+    "collect",
+    "configure_logging",
+    "current_span",
+    "enabled",
+    "get_logger",
+    "get_registry",
+    "render_trace",
+    "reset_registry",
+    "span",
+    "stage_timings",
+    "start_collection",
+    "stop_collection",
+    "trace_document",
+    "write_trace_json",
+]

@@ -1,0 +1,89 @@
+"""Structured logging for the ``repro.*`` namespace.
+
+All library logging goes through loggers named ``repro.<module>``
+obtained via :func:`get_logger`; nothing is emitted until the
+application opts in with :func:`configure_logging`.  The library
+itself never calls ``basicConfig`` — importing repro must not change
+the host process's logging setup.
+
+::
+
+    log = get_logger("pql.planner")       # -> logger "repro.pql.planner"
+    log.info("label table built", extra={"rows": 1200})
+
+    configure_logging(verbosity=1)        # INFO on stderr
+    configure_logging(verbosity=2)        # DEBUG
+
+The formatter renders any ``extra``-passed fields as trailing
+``key=value`` pairs, giving grep-friendly structured lines without a
+JSON dependency::
+
+    2026-08-05 12:00:00 INFO repro.pql.planner: label table built rows=1200
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Attributes present on every LogRecord; anything else came from ``extra``.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class _KeyValueFormatter(logging.Formatter):
+    """Standard formatter plus trailing ``key=value`` extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extras = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in _STANDARD_ATTRS
+        }
+        if not extras:
+            return base
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(extras.items()))
+        return f"{base} {rendered}"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro.`` namespace (idempotent)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger from a CLI-style verbosity.
+
+    ``0`` → WARNING (quiet default), ``1`` → INFO, ``2+`` → DEBUG.
+    Reconfiguring replaces the previously installed handler, so
+    repeated calls (tests, REPL sessions) don't stack duplicates.
+    Returns the configured root logger.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        _KeyValueFormatter("%(asctime)s %(levelname)s %(name)s: %(message)s", "%H:%M:%S")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Library loggers should not double-emit through the global root.
+    root.propagate = False
+    return root

@@ -1,0 +1,192 @@
+"""Counters, gauges, and histograms with JSON export.
+
+The registry is the numeric companion to :mod:`repro.obs.trace`:
+spans answer *where did the time go*, metrics answer *how much work
+happened* — rows scanned, nodes sampled, epoch throughput.
+
+Instruments are cheap enough to keep always-on (a counter increment
+is one dict-free attribute add), but code on per-edge hot paths
+should still accumulate locals and record once per call.
+
+::
+
+    registry = MetricsRegistry()
+    registry.counter("sql.rows_scanned").inc(1024)
+    registry.histogram("train.epoch_seconds").observe(0.42)
+    json.dumps(registry.to_dict())
+
+A process-global registry is available via :func:`get_registry` /
+:func:`reset_registry` for code that has no registry handy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready ``{type, value}`` record."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. current learning rate, graph size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready ``{type, value}`` record."""
+        return {"type": "gauge", "value": self.value}
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values.
+
+    ``q`` is in [0, 100].  Matches ``numpy.percentile`` with the
+    default linear interpolation, implemented locally so the metrics
+    module stays dependency-free.
+    """
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+class Histogram:
+    """Stores raw observations; summarizes as count/min/mean/p50/p95/max.
+
+    Raw storage is deliberate: the pipelines being profiled observe
+    thousands of values per run, not millions, and exact percentiles
+    beat bucketed approximations for regression hunting.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        """count / min / mean / p50 / p95 / max of everything observed."""
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "mean": sum(ordered) / len(ordered),
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "max": ordered[-1],
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready ``{type, ...summary}`` record."""
+        return {"type": "histogram", **self.summary()}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported as one dict."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready ``{name: {type, ...values}}`` export."""
+        return {name: self._instruments[name].to_dict() for name in self.names()}
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._instruments.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry."""
+    return _registry
+
+
+def reset_registry() -> None:
+    """Clear the process-global registry (tests, repeated CLI runs)."""
+    _registry.reset()

@@ -1,0 +1,101 @@
+"""EXPLAIN ANALYZE-style rendering of a collected trace.
+
+Turns the span tree from :mod:`repro.obs.trace` (plus an optional
+:class:`~repro.obs.metrics.MetricsRegistry`) into the stage report the
+CLI prints under ``--profile``::
+
+    EXPLAIN ANALYZE (total 12.340s)
+    └─ planner.fit                         12.100s  96.1%
+       ├─ planner.parse                     0.002s   0.0%
+       ├─ planner.label                     0.410s   3.3%  [label.train_rows=1200]
+       ├─ planner.graph_build               0.380s   3.1%  [graph.nodes=5400 graph.edges=21000]
+       └─ planner.train                    11.300s  91.5%  [train.epochs=15]
+
+and into the JSON document ``--trace-json`` writes for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Trace
+
+__all__ = ["render_trace", "trace_document", "write_trace_json", "stage_timings"]
+
+
+def _fmt_count(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _render_span(span: Span, total: float, prefix: str, is_last: bool, lines: List[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    label = f"{prefix}{connector}{span.name}"
+    pct = 100.0 * span.seconds / total if total > 0 else 0.0
+    line = f"{label:<44} {span.seconds:>9.3f}s {pct:>5.1f}%"
+    if span.counters:
+        rendered = " ".join(
+            f"{name}={_fmt_count(value)}" for name, value in sorted(span.counters.items())
+        )
+        line += f"  [{rendered}]"
+    if span.error is not None:
+        line += f"  !! {span.error}"
+    lines.append(line)
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(span.children):
+        _render_span(child, total, child_prefix, i == len(span.children) - 1, lines)
+
+
+def render_trace(trace: Trace, registry: Optional[MetricsRegistry] = None) -> str:
+    """The human-readable stage tree (plus metric summaries, if given)."""
+    total = sum(root.seconds for root in trace.roots)
+    lines = [f"EXPLAIN ANALYZE (total {total:.3f}s)"]
+    for i, root in enumerate(trace.roots):
+        _render_span(root, total, "", i == len(trace.roots) - 1, lines)
+    if registry is not None and len(registry):
+        lines.append("")
+        lines.append("metrics:")
+        for name, record in registry.to_dict().items():
+            kind = record.pop("type")
+            rendered = " ".join(
+                f"{key}={_fmt_count(value)}"
+                for key, value in record.items()
+                if value is not None
+            )
+            lines.append(f"  {name:<40} [{kind}] {rendered}")
+    return "\n".join(lines)
+
+
+def stage_timings(trace: Trace) -> Dict[str, float]:
+    """Flat ``{span name: seconds}`` map (durations summed per name).
+
+    Repeated spans (per-epoch, per-batch) aggregate under one key, so
+    the result is a stable dict a benchmark row can carry.
+    """
+    timings: Dict[str, float] = {}
+    for span in trace.iter_spans():
+        timings[span.name] = timings.get(span.name, 0.0) + span.seconds
+    return timings
+
+
+def trace_document(
+    trace: Trace, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """The JSON document written by ``--trace-json``."""
+    document: Dict[str, Any] = trace.to_dict()
+    document["stage_timings"] = stage_timings(trace)
+    if registry is not None:
+        document["metrics"] = registry.to_dict()
+    return document
+
+
+def write_trace_json(
+    path: str, trace: Trace, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Serialize :func:`trace_document` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_document(trace, registry), handle, indent=2)
+        handle.write("\n")

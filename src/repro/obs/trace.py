@@ -1,0 +1,281 @@
+"""Nestable tracing spans for the predictive-query compiler.
+
+A *span* measures one named stage of work — wall time, counters, and
+parent/child structure::
+
+    with span("planner.label"):
+        ...
+        add_counter("label.train_rows", len(train_labels))
+
+Spans nest: a span opened while another is active becomes its child,
+so a full ``fit`` produces a stage tree (parse → label → build →
+train) that :mod:`repro.obs.report` renders as an EXPLAIN
+ANALYZE-style report.
+
+Collection is **off by default** and the disabled path is a true
+no-op: :func:`span` returns a shared null context manager and
+:func:`add_counter` returns immediately — no records, no allocations
+on the hot path.  Enable collection around a region with
+:func:`collect`::
+
+    with collect() as trace:
+        planner.fit(query, split)
+    print(trace.to_dict())
+
+The collector is process-global (matching the single-threaded
+compile pipeline); nested ``collect()`` calls raise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "add_counter",
+    "collect",
+    "current_span",
+    "enabled",
+    "span",
+    "start_collection",
+    "stop_collection",
+]
+
+
+class Span:
+    """One recorded stage: name, wall time, counters, children."""
+
+    __slots__ = ("name", "started_at", "seconds", "counters", "children", "parent", "error", "_clock")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        #: Wall-clock timestamp when the span opened (epoch seconds).
+        self.started_at = time.time()
+        #: Duration; 0.0 until the span closes.
+        self.seconds = 0.0
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+        self._clock = time.perf_counter()
+
+    def close(self, error: Optional[str] = None) -> None:
+        """Stamp the duration (monotonic clock) and optional error."""
+        self.seconds = time.perf_counter() - self._clock
+        self.error = error
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named counter on this span."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this span and its subtree."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, seconds={self.seconds:.4f}, counters={self.counters})"
+
+
+class Trace:
+    """The finished result of one collection window."""
+
+    def __init__(self, roots: List[Span]) -> None:
+        self.roots = roots
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span with the given name, depth-first over all roots."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def iter_spans(self):
+        """Yield every span depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of the whole trace."""
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+
+class TraceCollector:
+    """Owns the open-span stack for one collection window."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def open_span(self, name: str) -> Span:
+        """Push a new child span onto the active stack and return it."""
+        parent = self.current
+        record = Span(name, parent=parent)
+        if parent is None:
+            self.roots.append(record)
+        else:
+            parent.children.append(record)
+        self._stack.append(record)
+        return record
+
+    def close_span(self, record: Span, error: Optional[str] = None) -> None:
+        """Close ``record`` and pop it (and any orphans) off the stack."""
+        record.close(error=error)
+        # Pop through any spans left open by non-local exits so the
+        # stack never wedges on an exception thrown mid-stage.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+            if top.seconds == 0.0:
+                top.close()
+
+    def add_counter(self, name: str, value: float) -> None:
+        """Add ``value`` to counter ``name`` on the innermost open span."""
+        current = self.current
+        if current is not None:
+            current.add_counter(name, value)
+
+    def finish(self) -> Trace:
+        """Close any still-open spans and seal the collection window."""
+        while self._stack:
+            self.close_span(self._stack[-1])
+        return Trace(self.roots)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` on the innermost open span."""
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-global collector; ``None`` means collection is off.
+_collector: Optional[TraceCollector] = None
+
+
+class _ActiveSpan:
+    """Context manager that closes its span on exit (exception-safe)."""
+
+    __slots__ = ("_record", "_collector")
+
+    def __init__(self, collector: TraceCollector, record: Span) -> None:
+        self._collector = collector
+        self._record = record
+
+    def __enter__(self) -> Span:
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        error = None if exc_type is None else f"{exc_type.__name__}: {exc}"
+        self._collector.close_span(self._record, error=error)
+        return False
+
+
+def enabled() -> bool:
+    """True while a collection window is open."""
+    return _collector is not None
+
+
+def span(name: str):
+    """Open a nested span; a shared no-op when collection is off."""
+    collector = _collector
+    if collector is None:
+        return _NULL_SPAN
+    return _ActiveSpan(collector, collector.open_span(name))
+
+
+def add_counter(name: str, value: float = 1.0) -> None:
+    """Accumulate a counter on the innermost open span (no-op when off)."""
+    collector = _collector
+    if collector is not None:
+        collector.add_counter(name, float(value))
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or None."""
+    collector = _collector
+    return collector.current if collector is not None else None
+
+
+def start_collection() -> TraceCollector:
+    """Turn collection on; pairs with :func:`stop_collection`."""
+    global _collector
+    if _collector is not None:
+        raise RuntimeError("trace collection is already active")
+    _collector = TraceCollector()
+    return _collector
+
+
+def stop_collection() -> Trace:
+    """Turn collection off and return the finished :class:`Trace`."""
+    global _collector
+    if _collector is None:
+        raise RuntimeError("trace collection is not active")
+    trace = _collector.finish()
+    _collector = None
+    return trace
+
+
+class collect:
+    """``with collect() as trace:`` — spans recorded inside land on ``trace``.
+
+    The bound value is a :class:`Trace` whose ``roots`` list fills as
+    top-level spans close; it is finalized (open spans closed) when
+    the block exits, even on exception.
+    """
+
+    def __init__(self) -> None:
+        self._trace: Optional[Trace] = None
+
+    def __enter__(self) -> Trace:
+        collector = start_collection()
+        self._trace = Trace(collector.roots)
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        finished = stop_collection()
+        # ``finished`` shares the same roots list handed out on enter.
+        assert self._trace is not None and finished.roots is self._trace.roots
+        return False

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs import get_logger
+from repro.obs import trace as obs_trace
 from repro.eval.metrics import (
     accuracy,
     auroc,
@@ -55,6 +57,8 @@ from repro.pql.validate import QueryBinding, validate
 from repro.relational.database import Database
 
 __all__ = ["PlannerConfig", "PredictiveQueryPlanner", "TrainedPredictiveModel"]
+
+_log = get_logger("pql.planner")
 
 
 @dataclass
@@ -154,24 +158,53 @@ class PredictiveQueryPlanner:
         split: TemporalSplit,
     ) -> "TrainedPredictiveModel":
         """Compile and train; returns the deployable model."""
-        binding = self.plan(query)
-        train_labels = build_label_table(self.db, binding, split.train_cutoffs)
-        val_labels = build_label_table(self.db, binding, [split.val_cutoff])
-        if len(train_labels) == 0:
-            raise ValueError("no training rows: check cutoffs against the data's time span")
+        with obs_trace.span("planner.fit"):
+            with obs_trace.span("planner.parse"):
+                binding = self.plan(query)
+            _log.info(
+                "query compiled", extra={"task_type": binding.task_type.value,
+                                         "entity": binding.query.entity_table},
+            )
+            with obs_trace.span("planner.label") as label_span:
+                train_labels = build_label_table(self.db, binding, split.train_cutoffs)
+                val_labels = build_label_table(self.db, binding, [split.val_cutoff])
+                label_span.add_counter("label.train_rows", len(train_labels))
+                label_span.add_counter("label.val_rows", len(val_labels))
+                label_span.add_counter("label.train_cutoffs", len(split.train_cutoffs))
+            if len(train_labels) == 0:
+                raise ValueError("no training rows: check cutoffs against the data's time span")
+            _log.info(
+                "labels built", extra={"train_rows": len(train_labels), "val_rows": len(val_labels)},
+            )
 
-        train_labels = self._maybe_subsample(train_labels)
-        stats_cutoff = min(split.train_cutoffs)
-        graph = build_graph(self.db, stats_cutoff=stats_cutoff)
-        metadata = GraphMetadata.from_graph(graph)
-        rng = np.random.default_rng(self.config.seed)
-        sampler = self.config.make_sampler(graph, np.random.default_rng(self.config.seed + 1))
+            train_labels = self._maybe_subsample(train_labels)
+            stats_cutoff = min(split.train_cutoffs)
+            with obs_trace.span("planner.graph_build") as build_span:
+                graph = build_graph(self.db, stats_cutoff=stats_cutoff)
+                build_span.add_counter("graph.nodes", graph.total_nodes())
+                build_span.add_counter("graph.edges", graph.total_edges())
+                build_span.add_counter("graph.node_types", len(graph.node_types))
+                build_span.add_counter("graph.edge_types", len(graph.edge_types))
+            _log.info(
+                "graph compiled",
+                extra={"nodes": graph.total_nodes(), "edges": graph.total_edges()},
+            )
+            metadata = GraphMetadata.from_graph(graph)
+            rng = np.random.default_rng(self.config.seed)
+            sampler = self.config.make_sampler(graph, np.random.default_rng(self.config.seed + 1))
 
-        if binding.task_type == TaskType.LINK:
-            model = self._fit_link(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
-        else:
-            model = self._fit_node(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
-        model.stats_cutoff = stats_cutoff
+            with obs_trace.span("planner.train"):
+                if binding.task_type == TaskType.LINK:
+                    model = self._fit_link(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
+                else:
+                    model = self._fit_node(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
+                trainer = model.node_trainer or model.link_trainer
+            _log.info(
+                "training finished",
+                extra={"epochs": len(trainer.history.train_loss),
+                       "best_epoch": trainer.history.best_epoch},
+            )
+            model.stats_cutoff = stats_cutoff
         return model
 
     # ------------------------------------------------------------------
@@ -348,27 +381,29 @@ class TrainedPredictiveModel:
     # ------------------------------------------------------------------
     def evaluate(self, cutoff: int, k: int = 10) -> Dict[str, float]:
         """Metrics against ground-truth labels computed at ``cutoff``."""
-        labels = build_label_table(self.db, self.binding, [int(cutoff)])
-        if self.task_type == TaskType.LINK:
-            return self._evaluate_link(labels, k)
-        predictions = self.predict(labels.entity_keys, int(cutoff))
-        if self.task_type == TaskType.BINARY:
+        with obs_trace.span("planner.evaluate") as eval_span:
+            labels = build_label_table(self.db, self.binding, [int(cutoff)])
+            eval_span.add_counter("eval.rows", len(labels))
+            if self.task_type == TaskType.LINK:
+                return self._evaluate_link(labels, k)
+            predictions = self.predict(labels.entity_keys, int(cutoff))
+            if self.task_type == TaskType.BINARY:
+                return {
+                    "auroc": auroc(labels.labels, predictions),
+                    "average_precision": average_precision(labels.labels, predictions),
+                    "accuracy": accuracy(labels.labels, (predictions > 0.5).astype(float)),
+                    "f1": f1_score(labels.labels, (predictions > 0.5).astype(float)),
+                    "brier": brier_score(labels.labels, predictions),
+                    "ece": expected_calibration_error(labels.labels, predictions),
+                    "num_examples": float(len(labels)),
+                    "positive_rate": labels.positive_rate,
+                }
             return {
-                "auroc": auroc(labels.labels, predictions),
-                "average_precision": average_precision(labels.labels, predictions),
-                "accuracy": accuracy(labels.labels, (predictions > 0.5).astype(float)),
-                "f1": f1_score(labels.labels, (predictions > 0.5).astype(float)),
-                "brier": brier_score(labels.labels, predictions),
-                "ece": expected_calibration_error(labels.labels, predictions),
+                "mae": mae(labels.labels, predictions),
+                "rmse": rmse(labels.labels, predictions),
+                "r2": r2_score(labels.labels, predictions),
                 "num_examples": float(len(labels)),
-                "positive_rate": labels.positive_rate,
             }
-        return {
-            "mae": mae(labels.labels, predictions),
-            "rmse": rmse(labels.labels, predictions),
-            "r2": r2_score(labels.labels, predictions),
-            "num_examples": float(len(labels)),
-        }
 
     def _evaluate_link(self, labels: LabelTable, k: int) -> Dict[str, float]:
         entity_type = self.binding.query.entity_table

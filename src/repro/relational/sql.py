@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.relational import algebra
 from repro.relational.column import Column
 from repro.relational.database import Database
@@ -306,51 +307,67 @@ def _apply_where(table: Table, clause: _WhereClause, base_name: str) -> Table:
 
 def execute_sql(db: Database, sql: str) -> Table:
     """Execute a SELECT statement against ``db``; returns a result table."""
-    query = _Parser(sql).parse()
-    if query.table not in db:
-        raise SQLError(f"unknown table {query.table!r}")
-    working = db[query.table]
-    base_name = query.table
+    with obs_trace.span("sql.execute") as sql_span:
+        query = _Parser(sql).parse()
+        if query.table not in db:
+            raise SQLError(f"unknown table {query.table!r}")
+        working = db[query.table]
+        base_name = query.table
+        rows_scanned = working.num_rows
+        rows_joined = 0
 
-    for join in query.joins:
-        if join.table not in db:
-            raise SQLError(f"unknown table {join.table!r}")
-        left_col = _resolve(working, join.left_col, base_name)
-        right_table = db[join.table]
-        right_col = join.right_col.split(".", 1)[-1]
-        if not right_table.schema.has_column(right_col):
-            raise SQLError(f"unknown column {join.right_col!r}")
-        working = algebra.inner_join(working, right_table, left_col, right_col)
+        for join in query.joins:
+            if join.table not in db:
+                raise SQLError(f"unknown table {join.table!r}")
+            left_col = _resolve(working, join.left_col, base_name)
+            right_table = db[join.table]
+            right_col = join.right_col.split(".", 1)[-1]
+            if not right_table.schema.has_column(right_col):
+                raise SQLError(f"unknown column {join.right_col!r}")
+            rows_scanned += right_table.num_rows
+            working = algebra.inner_join(working, right_table, left_col, right_col)
+            rows_joined += working.num_rows
 
-    for clause in query.where:
-        working = _apply_where(working, clause, base_name)
+        for clause in query.where:
+            working = _apply_where(working, clause, base_name)
 
-    has_aggs = any(item.agg is not None for item in query.items)
-    if query.group_by is not None or has_aggs:
-        working = _execute_aggregation(working, query, base_name)
-        for clause in query.having or []:
-            # HAVING conditions reference the aggregate output columns.
-            working = _apply_where(working, clause, working.name)
+        has_aggs = any(item.agg is not None for item in query.items)
+        if query.group_by is not None or has_aggs:
+            working = _execute_aggregation(working, query, base_name)
+            for clause in query.having or []:
+                # HAVING conditions reference the aggregate output columns.
+                working = _apply_where(working, clause, working.name)
+            working = _order_and_limit(working, query, base_name)
+            _record_sql_counters(sql_span, rows_scanned, rows_joined, working)
+            return working
+
+        # Plain select: ORDER BY / LIMIT run before projection so sorting
+        # by a non-selected column works (standard SQL semantics).
         working = _order_and_limit(working, query, base_name)
+        if not any(item.column == "*" for item in query.items):
+            columns = {}
+            specs = []
+            for item in query.items:
+                resolved = _resolve(working, item.column, base_name)
+                name = item.alias or resolved
+                if name in columns:
+                    raise SQLError(f"duplicate output column {name!r}")
+                columns[name] = working[resolved]
+                specs.append(ColumnSpec(name, working.schema.dtype_of(resolved)))
+            working = Table(TableSchema(name=working.name, columns=specs), columns)
+        if query.distinct:
+            working = _distinct_rows(working)
+        _record_sql_counters(sql_span, rows_scanned, rows_joined, working)
         return working
 
-    # Plain select: ORDER BY / LIMIT run before projection so sorting
-    # by a non-selected column works (standard SQL semantics).
-    working = _order_and_limit(working, query, base_name)
-    if not any(item.column == "*" for item in query.items):
-        columns = {}
-        specs = []
-        for item in query.items:
-            resolved = _resolve(working, item.column, base_name)
-            name = item.alias or resolved
-            if name in columns:
-                raise SQLError(f"duplicate output column {name!r}")
-            columns[name] = working[resolved]
-            specs.append(ColumnSpec(name, working.schema.dtype_of(resolved)))
-        working = Table(TableSchema(name=working.name, columns=specs), columns)
-    if query.distinct:
-        working = _distinct_rows(working)
-    return working
+
+def _record_sql_counters(sql_span, rows_scanned: int, rows_joined: int, result: Table) -> None:
+    """Attach scan/join/output row counts to the ``sql.execute`` span."""
+    if not obs_trace.enabled():
+        return
+    sql_span.add_counter("sql.rows_scanned", rows_scanned)
+    sql_span.add_counter("sql.rows_joined", rows_joined)
+    sql_span.add_counter("sql.rows_returned", result.num_rows)
 
 
 def _distinct_rows(table: Table) -> Table:
