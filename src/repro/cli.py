@@ -24,6 +24,19 @@ Observability flags (``fit`` / ``query``):
 * ``--trace-json PATH`` writes the full span tree and metrics as JSON.
 * ``-v`` / ``-vv`` raise log verbosity to INFO / DEBUG (all
   subcommands, including ``sql``).
+
+Fault-tolerance flags (``fit`` / ``query``; see docs/robustness.md):
+
+* ``--checkpoint-dir DIR`` checkpoints training every epoch; with
+  ``--resume``, a restarted run continues bit-identically from the
+  last committed epoch.
+* ``--max-retries N`` retries transient stage failures with seeded
+  exponential backoff; ``--stage-timeout STAGE=SECONDS`` (repeatable)
+  budgets individual stages.
+* ``--fallback`` degrades a failed GNN train stage to GBDT (then a
+  heuristic) instead of failing the run.
+* The ``REPRO_FAULTS`` environment variable (e.g.
+  ``trainer.step@3:raise``) arms the deterministic fault injector.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from repro.eval.splits import make_temporal_split
 from repro.obs import trace as obs_trace
 from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
 from repro.relational.sql import execute_sql
+from repro.resilience import FaultInjector, ResilienceConfig, install as install_injector
 
 __all__ = ["main"]
 
@@ -75,6 +89,28 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace-json", metavar="PATH",
             help="write the span tree + metrics as JSON to PATH",
+        )
+        p.add_argument(
+            "--checkpoint-dir", metavar="DIR",
+            help="checkpoint training state to DIR every epoch",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="resume training from the latest checkpoint in --checkpoint-dir",
+        )
+        p.add_argument(
+            "--max-retries", type=int, default=0, metavar="N",
+            help="retries per pipeline stage on transient failures",
+        )
+        p.add_argument(
+            "--stage-timeout", action="append", default=[], metavar="STAGE=SECONDS",
+            help="wall-clock budget for a stage (label, graph_build, train, "
+                 "evaluate); repeatable",
+        )
+        p.add_argument(
+            "--fallback", action="store_true",
+            help="degrade a failed GNN train stage to GBDT → heuristic "
+                 "instead of failing",
         )
         add_verbosity(p)
 
@@ -117,6 +153,34 @@ def _planner_config(args: argparse.Namespace) -> PlannerConfig:
     )
 
 
+def _resilience_config(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """A ResilienceConfig when any fault-tolerance flag is set, else None."""
+    timeouts = {}
+    for item in args.stage_timeout:
+        stage, sep, seconds = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--stage-timeout expects STAGE=SECONDS, got {item!r}")
+        if stage not in ("label", "graph_build", "train", "evaluate"):
+            raise SystemExit(f"--stage-timeout: unknown stage {stage!r}")
+        timeouts[stage] = float(seconds)
+    enabled = (
+        args.checkpoint_dir or args.resume or args.max_retries
+        or timeouts or args.fallback
+    )
+    if not enabled:
+        return None
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return ResilienceConfig(
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        stage_timeouts=timeouts,
+        fallback=args.fallback,
+        seed=args.seed,
+    )
+
+
 def _build_dataset(args: argparse.Namespace):
     spec = get_dataset(args.dataset)
     _log.info(
@@ -140,15 +204,26 @@ def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Opt
         f"split: {len(split.train_cutoffs)} train cutoffs, "
         f"val@{split.val_cutoff}, test@{split.test_cutoff}"
     )
-    planner = PredictiveQueryPlanner(db, _planner_config(args))
+    planner = PredictiveQueryPlanner(db, _planner_config(args), resilience=_resilience_config(args))
     _log.info("fit started", extra={"epochs": args.epochs, "layers": args.layers})
     model = planner.fit(query_text, split)
-    history = (model.node_trainer or model.link_trainer).history
-    if history.epoch_seconds:
+    if model.degraded_from is not None:
+        print(
+            f"WARNING: degraded from {model.degraded_from} to "
+            f"{model.baseline.kind} ({model.degraded_reason})"
+        )
+    trainer = model.node_trainer or model.link_trainer
+    history = trainer.history if trainer is not None else None
+    if history is not None and history.epoch_seconds:
+        resumed = (
+            f" (resumed from epoch {history.resumed_from_epoch})"
+            if history.resumed_from_epoch else ""
+        )
         print(
             f"trained {len(history.epoch_seconds)} epochs in "
             f"{history.total_seconds:.2f}s "
             f"({history.examples_per_sec[-1]:.0f} examples/sec last epoch)"
+            + resumed
         )
     print("test metrics:")
     for name, value in model.evaluate(split.test_cutoff).items():
@@ -229,6 +304,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     obs.configure_logging(getattr(args, "verbose", 0))
+    injector = FaultInjector.from_env()
+    if injector is not None:
+        install_injector(injector)
+        _log.warning(
+            "fault injection armed", extra={"specs": [str(s) for s in injector.specs]},
+        )
     if args.command == "tasks":
         return _cmd_tasks()
     if args.command == "fit":

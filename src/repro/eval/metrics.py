@@ -3,6 +3,11 @@
 All functions take plain numpy arrays and return python floats.
 Classification metrics take scores (probabilities or logits — only the
 ordering matters for ranking metrics like AUROC).
+
+Score-based binary metrics refuse non-finite scores: NaN sorts
+unpredictably, so a single NaN score would silently corrupt the rank
+ordering behind AUROC/AP and the binning behind ECE.  They return NaN
+and log one warning instead.
 """
 
 from __future__ import annotations
@@ -10,6 +15,10 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from repro.obs import get_logger
+
+_log = get_logger("eval.metrics")
 
 __all__ = [
     "auroc",
@@ -35,6 +44,18 @@ def _binary_checked(y_true: np.ndarray, y_score: np.ndarray):
     return y_true, y_score
 
 
+def _scores_unusable(y_score: np.ndarray, metric: str) -> bool:
+    """True (with one WARNING) when non-finite scores would corrupt ``metric``."""
+    bad = int((~np.isfinite(y_score)).sum())
+    if bad:
+        _log.warning(
+            "non-finite scores; returning NaN",
+            extra={"metric": metric, "bad_scores": bad, "total": len(y_score)},
+        )
+        return True
+    return False
+
+
 def auroc(y_true: np.ndarray, y_score: np.ndarray) -> float:
     """Area under the ROC curve via the rank-sum (Mann-Whitney) formula.
 
@@ -42,6 +63,8 @@ def auroc(y_true: np.ndarray, y_score: np.ndarray) -> float:
     present.
     """
     y_true, y_score = _binary_checked(y_true, y_score)
+    if _scores_unusable(y_score, "auroc"):
+        return float("nan")
     positives = y_true > 0.5
     n_pos = int(positives.sum())
     n_neg = len(y_true) - n_pos
@@ -65,6 +88,8 @@ def auroc(y_true: np.ndarray, y_score: np.ndarray) -> float:
 def average_precision(y_true: np.ndarray, y_score: np.ndarray) -> float:
     """Average precision (area under the precision-recall curve)."""
     y_true, y_score = _binary_checked(y_true, y_score)
+    if _scores_unusable(y_score, "average_precision"):
+        return float("nan")
     n_pos = int((y_true > 0.5).sum())
     if n_pos == 0:
         return float("nan")
@@ -185,7 +210,7 @@ def ndcg_at_k(
 def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
     """Mean squared error of predicted probabilities (lower is better)."""
     y_true, y_prob = _binary_checked(y_true, y_prob)
-    if len(y_true) == 0:
+    if len(y_true) == 0 or _scores_unusable(y_prob, "brier_score"):
         return float("nan")
     return float(((y_prob - y_true) ** 2).mean())
 
@@ -199,7 +224,7 @@ def expected_calibration_error(
     score is the bin-size-weighted mean |accuracy − confidence|.
     """
     y_true, y_prob = _binary_checked(y_true, y_prob)
-    if len(y_true) == 0:
+    if len(y_true) == 0 or _scores_unusable(y_prob, "expected_calibration_error"):
         return float("nan")
     bins = np.clip((y_prob * num_bins).astype(int), 0, num_bins - 1)
     total = 0.0

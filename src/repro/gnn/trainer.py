@@ -4,13 +4,32 @@ The trainer owns the loop the predictive-query planner compiles to:
 shuffle seeds, sample a time-respecting subgraph per batch, forward,
 loss, backward, clip, step — with early stopping on validation loss and
 best-weight restoration.
+
+Both trainers run their epochs through one shared fault-tolerant
+driver (:class:`_ResilientLoop`):
+
+* every optimizer step is watched by a divergence guard — a NaN/inf
+  loss or an exploding pre-clip gradient norm restores the last good
+  epoch snapshot, backs off the learning rate, and replays the epoch,
+  a bounded number of times before raising
+  :class:`~repro.resilience.DivergenceError`;
+* with a configured ``checkpoint_dir``, every epoch commits an atomic,
+  checksummed checkpoint capturing weights, best weights, optimizer
+  moments, and **all RNG states** (trainer shuffle/negative-sampling,
+  neighbor sampler, and any model dropout generators) — so a killed
+  run resumed with ``resume=True`` replays the remaining epochs
+  bit-identically to an uninterrupted run;
+* a cooperative :class:`~repro.resilience.Deadline` may be passed to
+  ``fit``; it is checked at batch boundaries so stage budgets can stop
+  a run mid-epoch.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,8 +39,12 @@ from repro.graph.sampler import NeighborSampler
 from repro.nn.losses import binary_cross_entropy_with_logits, bpr_loss, cross_entropy, mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import no_grad
-from repro.obs import get_logger
+from repro.obs import get_logger, get_registry
 from repro.obs import trace as obs_trace
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import corrupt_value, fault_point
+from repro.resilience.guards import DivergenceGuard
+from repro.resilience.retry import Deadline
 
 __all__ = ["TrainConfig", "NodeTaskTrainer", "LinkTaskTrainer"]
 
@@ -41,6 +64,19 @@ class TrainConfig:
     patience: int = 5
     clip_norm: float = 5.0
     seed: int = 0
+    #: Directory for per-epoch checkpoints; None disables them.
+    checkpoint_dir: Optional[str] = None
+    #: Commit a checkpoint every N epochs (the in-memory divergence
+    #: restore point is still refreshed every epoch).
+    checkpoint_every: int = 1
+    #: Resume from the latest checkpoint in ``checkpoint_dir`` if any.
+    resume: bool = False
+    #: Divergence recoveries (restore + LR backoff) before failing.
+    divergence_recoveries: int = 2
+    #: LR multiplier applied on each divergence recovery.
+    lr_backoff: float = 0.5
+    #: Pre-clip gradient norms above this count as divergence.
+    grad_norm_limit: float = 1e6
 
 
 @dataclass
@@ -58,6 +94,10 @@ class _History:
     epoch_seconds: List[float] = field(default_factory=list)
     examples_per_sec: List[float] = field(default_factory=list)
     clip_events: int = 0
+    #: Divergence recoveries performed during this fit.
+    divergence_recoveries: int = 0
+    #: Epoch the run resumed from (0 = fresh start).
+    resumed_from_epoch: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -88,6 +128,232 @@ def _record_epoch(
             "clip_events": int(clip_events),
         },
     )
+
+
+class _Diverged(Exception):
+    """Internal signal: the current epoch hit a divergence condition."""
+
+    def __init__(self, reason: str, value: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.value = float(value)
+
+
+class _ResilientLoop:
+    """The shared epoch driver: early stopping, guards, checkpoints, resume.
+
+    ``run_epoch(epoch)`` trains one epoch and returns
+    ``(mean_loss, clip_events)``, raising :class:`_Diverged` on a
+    divergence condition *before* the offending optimizer step is
+    applied.  ``run_val()`` (optional) returns the validation loss.
+    """
+
+    CHECKPOINT_SLOT = "train"
+
+    def __init__(
+        self,
+        trainer,
+        optimizer: Adam,
+        num_examples: int,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self.trainer = trainer
+        self.optimizer = optimizer
+        self.num_examples = num_examples
+        self.deadline = deadline
+        cfg = trainer.config
+        self.guard = DivergenceGuard(
+            max_recoveries=cfg.divergence_recoveries,
+            lr_factor=cfg.lr_backoff,
+            grad_norm_limit=cfg.grad_norm_limit,
+        )
+        self.ckpt = CheckpointManager(cfg.checkpoint_dir) if cfg.checkpoint_dir else None
+        self.best_val = float("inf")
+        self.best_state = trainer.model.state_dict()
+        self.stale = 0
+        self.current_lr = optimizer.lr
+
+    # -- RNG plumbing ---------------------------------------------------
+    def _generators(self) -> List[np.random.Generator]:
+        """Every generator whose draws shape training, in a stable order."""
+        found: List[np.random.Generator] = [self.trainer._rng]
+        sampler_rng = getattr(self.trainer.sampler, "rng", None)
+        if isinstance(sampler_rng, np.random.Generator):
+            found.append(sampler_rng)
+        for module in self.trainer.model.modules():
+            for attr in ("rng", "_rng"):
+                candidate = getattr(module, attr, None)
+                if isinstance(candidate, np.random.Generator):
+                    found.append(candidate)
+        unique: List[np.random.Generator] = []
+        seen = set()
+        for gen in found:
+            if id(gen) not in seen:
+                seen.add(id(gen))
+                unique.append(gen)
+        return unique
+
+    # -- Snapshot / restore ---------------------------------------------
+    def _snapshot(self, next_epoch: int) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.trainer.model.state_dict().items():
+            arrays[f"model.{name}"] = value
+        for name, value in self.best_state.items():
+            arrays[f"best.{name}"] = np.asarray(value).copy()
+        for idx, moment in self.optimizer._m.items():
+            arrays[f"opt.m.{idx}"] = moment.copy()
+        for idx, moment in self.optimizer._v.items():
+            arrays[f"opt.v.{idx}"] = moment.copy()
+        history = self.trainer.history
+        meta: Dict[str, Any] = {
+            "next_epoch": next_epoch,
+            "adam_t": self.optimizer._t,
+            "lr": self.optimizer.lr,
+            "best_val": self.best_val,
+            "best_epoch": history.best_epoch,
+            "stale": self.stale,
+            "recoveries": self.guard.recoveries,
+            "history": {
+                "train_loss": list(history.train_loss),
+                "val_loss": list(history.val_loss),
+                "epoch_seconds": list(history.epoch_seconds),
+                "examples_per_sec": list(history.examples_per_sec),
+                "clip_events": int(history.clip_events),
+            },
+            "rng_states": [gen.bit_generator.state for gen in self._generators()],
+            "target_mean": getattr(self.trainer, "_target_mean", None),
+            "target_std": getattr(self.trainer, "_target_std", None),
+        }
+        return arrays, meta
+
+    def _restore(self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> None:
+        model_state = {
+            name[len("model."):]: value for name, value in arrays.items()
+            if name.startswith("model.")
+        }
+        self.trainer.model.load_state_dict(model_state)
+        self.best_state = {
+            name[len("best."):]: value.copy() for name, value in arrays.items()
+            if name.startswith("best.")
+        }
+        self.optimizer._m = {
+            int(name[len("opt.m."):]): value.copy() for name, value in arrays.items()
+            if name.startswith("opt.m.")
+        }
+        self.optimizer._v = {
+            int(name[len("opt.v."):]): value.copy() for name, value in arrays.items()
+            if name.startswith("opt.v.")
+        }
+        self.optimizer._t = int(meta["adam_t"])
+        self.optimizer.lr = float(meta["lr"])
+        self.best_val = float(meta["best_val"])
+        self.stale = int(meta["stale"])
+        history = self.trainer.history
+        saved = meta["history"]
+        history.train_loss[:] = [float(v) for v in saved["train_loss"]]
+        history.val_loss[:] = [float(v) for v in saved["val_loss"]]
+        history.epoch_seconds[:] = [float(v) for v in saved["epoch_seconds"]]
+        history.examples_per_sec[:] = [float(v) for v in saved["examples_per_sec"]]
+        history.clip_events = int(saved["clip_events"])
+        history.best_epoch = int(meta["best_epoch"])
+        generators = self._generators()
+        states = meta["rng_states"]
+        if len(generators) != len(states):
+            raise ValueError(
+                f"checkpoint has {len(states)} RNG states but the trainer "
+                f"exposes {len(generators)} generators — model architecture changed?"
+            )
+        for gen, state in zip(generators, states):
+            gen.bit_generator.state = state
+        if meta.get("target_mean") is not None:
+            self.trainer._target_mean = float(meta["target_mean"])
+            self.trainer._target_std = float(meta["target_std"])
+
+    # -- Driver ----------------------------------------------------------
+    def run(
+        self,
+        run_epoch: Callable[[int], Tuple[float, int]],
+        run_val: Optional[Callable[[], float]],
+    ) -> None:
+        cfg = self.trainer.config
+        history = self.trainer.history
+        start_epoch = 0
+        if self.ckpt is not None and cfg.resume and self.ckpt.has(self.CHECKPOINT_SLOT):
+            arrays, meta = self.ckpt.load(self.CHECKPOINT_SLOT)
+            self._restore(arrays, meta)
+            self.guard.recoveries = int(meta.get("recoveries", 0))
+            self.current_lr = self.optimizer.lr
+            start_epoch = int(meta["next_epoch"])
+            history.resumed_from_epoch = start_epoch
+            _log.info(
+                "resumed from checkpoint",
+                extra={"checkpoint_dir": cfg.checkpoint_dir, "next_epoch": start_epoch},
+            )
+        # The divergence restore point; refreshed after every good epoch.
+        last_good = self._snapshot(next_epoch=start_epoch)
+
+        epoch = start_epoch
+        stopped_early = False
+        while epoch < cfg.epochs and not stopped_early:
+            if self.deadline is not None:
+                self.deadline.check("trainer.epoch")
+            epoch_clock = time.perf_counter()
+            try:
+                mean_loss, clip_events = run_epoch(epoch)
+            except _Diverged as div:
+                self.guard.record_recovery(div.reason, epoch, div.value)
+                history.divergence_recoveries = self.guard.recoveries
+                self.current_lr *= cfg.lr_backoff
+                self._restore(*last_good)
+                self.optimizer.lr = self.current_lr
+                get_registry().counter("resilience.divergence_recoveries").inc()
+                obs_trace.add_counter("train.divergence_recoveries")
+                _log.warning(
+                    "divergence detected; restored last good state and backed off LR",
+                    extra={"epoch": epoch, "reason": div.reason, "value": div.value,
+                           "lr": self.optimizer.lr, "recoveries": self.guard.recoveries},
+                )
+                continue  # replay the same epoch at the reduced LR
+            history.train_loss.append(mean_loss)
+            _record_epoch(history, epoch, epoch_clock, self.num_examples, clip_events)
+
+            if run_val is not None:
+                val_loss = run_val()
+                history.val_loss.append(val_loss)
+                if math.isnan(val_loss):
+                    # nan < best is always False, so NaN could silently
+                    # masquerade as "no improvement" forever; make it
+                    # explicit and visible.
+                    _log.warning(
+                        "validation loss is NaN; counting as no improvement",
+                        extra={"epoch": epoch},
+                    )
+                    improved = False
+                else:
+                    improved = val_loss < self.best_val - 1e-6
+                if improved:
+                    self.best_val = val_loss
+                    self.best_state = self.trainer.model.state_dict()
+                    history.best_epoch = epoch
+                    self.stale = 0
+                else:
+                    self.stale += 1
+                    if self.stale >= cfg.patience:
+                        stopped_early = True
+
+            last_good = self._snapshot(next_epoch=epoch + 1)
+            if self.ckpt is not None and (
+                (epoch + 1) % max(cfg.checkpoint_every, 1) == 0
+                or stopped_early
+                or epoch + 1 == cfg.epochs
+            ):
+                self.ckpt.save(self.CHECKPOINT_SLOT, *last_good)
+            fault_point("trainer.epoch")
+            epoch += 1
+
+        if run_val is not None:
+            self.trainer.model.load_state_dict(self.best_state)
+        self.trainer.model.eval()
 
 
 class NodeTaskTrainer:
@@ -144,6 +410,7 @@ class NodeTaskTrainer:
         val_ids: Optional[np.ndarray] = None,
         val_times: Optional[np.ndarray] = None,
         val_labels: Optional[np.ndarray] = None,
+        deadline: Optional[Deadline] = None,
     ) -> _History:
         """Train with early stopping; returns the loss history.
 
@@ -158,47 +425,40 @@ class NodeTaskTrainer:
             lr=self.config.lr,
             weight_decay=self.config.weight_decay,
         )
-        best_val = np.inf
-        best_state = self.model.state_dict()
-        epochs_without_improvement = 0
+        loop = _ResilientLoop(self, optimizer, num_examples=len(train_ids), deadline=deadline)
 
-        for epoch in range(self.config.epochs):
+        def run_epoch(epoch: int) -> Tuple[float, int]:
             self.model.train()
-            epoch_clock = time.perf_counter()
             clip_events = 0
             order = self._rng.permutation(len(train_ids))
             epoch_losses = []
             for start in range(0, len(order), self.config.batch_size):
+                if deadline is not None:
+                    deadline.check("trainer.step")
+                fault_point("trainer.step")
                 batch = order[start : start + self.config.batch_size]
                 loss = self._batch_loss(
                     seed_type, train_ids[batch], train_times[batch], train_labels[batch]
                 )
+                loss_value = corrupt_value("trainer.loss", float(loss.item()))
+                reason = loop.guard.check_loss(loss_value)
+                if reason is not None:
+                    raise _Diverged(reason, loss_value)
                 optimizer.zero_grad()
                 loss.backward()
                 norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                reason = loop.guard.check_grad_norm(norm)
+                if reason is not None:
+                    raise _Diverged(reason, norm)
                 clip_events += norm > self.config.clip_norm
                 optimizer.step()
-                epoch_losses.append(loss.item())
-            self.history.train_loss.append(float(np.mean(epoch_losses)))
-            _record_epoch(self.history, epoch, epoch_clock, len(train_ids), clip_events)
+                epoch_losses.append(loss_value)
+            return float(np.mean(epoch_losses)), clip_events
 
-            if val_ids is None:
-                continue
-            val_loss = self._evaluate_loss(seed_type, val_ids, val_times, val_labels)
-            self.history.val_loss.append(val_loss)
-            if val_loss < best_val - 1e-6:
-                best_val = val_loss
-                best_state = self.model.state_dict()
-                self.history.best_epoch = epoch
-                epochs_without_improvement = 0
-            else:
-                epochs_without_improvement += 1
-                if epochs_without_improvement >= self.config.patience:
-                    break
-
+        run_val = None
         if val_ids is not None:
-            self.model.load_state_dict(best_state)
-        self.model.eval()
+            run_val = lambda: self._evaluate_loss(seed_type, val_ids, val_times, val_labels)
+        loop.run(run_epoch, run_val)
         return self.history
 
     def _prepare_targets(self, labels: np.ndarray, fit: bool) -> np.ndarray:
@@ -301,6 +561,7 @@ class LinkTaskTrainer:
         val_query_ids: Optional[np.ndarray] = None,
         val_query_times: Optional[np.ndarray] = None,
         val_pos_item_ids: Optional[np.ndarray] = None,
+        deadline: Optional[Deadline] = None,
     ) -> _History:
         """Train on positive (query, item) pairs with sampled negatives."""
         optimizer = Adam(
@@ -308,47 +569,42 @@ class LinkTaskTrainer:
             lr=self.config.lr,
             weight_decay=self.config.weight_decay,
         )
-        best_val = np.inf
-        best_state = self.model.state_dict()
-        stale = 0
-        for epoch in range(self.config.epochs):
+        loop = _ResilientLoop(self, optimizer, num_examples=len(query_ids), deadline=deadline)
+
+        def run_epoch(epoch: int) -> Tuple[float, int]:
             self.model.train()
-            epoch_clock = time.perf_counter()
             clip_events = 0
             order = self._rng.permutation(len(query_ids))
             losses = []
             for start in range(0, len(order), self.config.batch_size):
+                if deadline is not None:
+                    deadline.check("trainer.step")
+                fault_point("trainer.step")
                 batch = order[start : start + self.config.batch_size]
                 loss = self._batch_loss(
                     seed_type, query_ids[batch], query_times[batch], pos_item_ids[batch]
                 )
+                loss_value = corrupt_value("trainer.loss", float(loss.item()))
+                reason = loop.guard.check_loss(loss_value)
+                if reason is not None:
+                    raise _Diverged(reason, loss_value)
                 optimizer.zero_grad()
                 loss.backward()
                 norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                reason = loop.guard.check_grad_norm(norm)
+                if reason is not None:
+                    raise _Diverged(reason, norm)
                 clip_events += norm > self.config.clip_norm
                 optimizer.step()
-                losses.append(loss.item())
-            self.history.train_loss.append(float(np.mean(losses)))
-            _record_epoch(self.history, epoch, epoch_clock, len(query_ids), clip_events)
+                losses.append(loss_value)
+            return float(np.mean(losses)), clip_events
 
-            if val_query_ids is None:
-                continue
-            val_loss = self._evaluate_loss(
+        run_val = None
+        if val_query_ids is not None:
+            run_val = lambda: self._evaluate_loss(
                 seed_type, val_query_ids, val_query_times, val_pos_item_ids
             )
-            self.history.val_loss.append(val_loss)
-            if val_loss < best_val - 1e-6:
-                best_val = val_loss
-                best_state = self.model.state_dict()
-                self.history.best_epoch = epoch
-                stale = 0
-            else:
-                stale += 1
-                if stale >= self.config.patience:
-                    break
-        if val_query_ids is not None:
-            self.model.load_state_dict(best_state)
-        self.model.eval()
+        loop.run(run_epoch, run_val)
         return self.history
 
     def _batch_loss(self, seed_type, query_ids, query_times, pos_items):

@@ -32,6 +32,7 @@ import numpy as np
 from repro.graph.hetero import EdgeType, HeteroGraph
 from repro.graph.sampler import SampledSubgraph
 from repro.obs import trace as obs_trace
+from repro.resilience.faults import fault_point
 
 __all__ = ["VectorizedNeighborSampler"]
 
@@ -109,6 +110,7 @@ class VectorizedNeighborSampler:
         seed_times: np.ndarray,
     ) -> SampledSubgraph:
         """Sample the merged subgraph around the seeds."""
+        fault_point("sampler.sample")
         seed_ids = np.asarray(seed_ids, dtype=np.int64)
         seed_times = np.asarray(seed_times, dtype=np.int64)
         if seed_ids.shape != seed_times.shape:

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.graph.hetero import EdgeType, HeteroGraph
 from repro.obs import trace as obs_trace
+from repro.resilience.faults import fault_point
 
 __all__ = ["SampledSubgraph", "NeighborSampler"]
 
@@ -180,6 +181,7 @@ class NeighborSampler:
         sampled node/edge satisfies ``timestamp <= seed time`` when
         ``time_respecting`` is on.
         """
+        fault_point("sampler.sample")
         seed_ids = np.asarray(seed_ids, dtype=np.int64)
         seed_times = np.asarray(seed_times, dtype=np.int64)
         if seed_ids.shape != seed_times.shape:

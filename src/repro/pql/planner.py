@@ -15,6 +15,13 @@ database and a PQL string, and it produces a trained model —
 
 No per-task feature engineering appears anywhere in this path — that
 is the point.
+
+Production hardening is opt-in via a
+:class:`~repro.resilience.ResilienceConfig`: per-stage deadline
+budgets and seeded retries, epoch checkpointing with ``--resume``,
+divergence guards inside the trainers, and a graceful-degradation
+ladder (GNN → GBDT → heuristic) whose provenance is recorded in the
+saved manifest as ``degraded_from``.
 """
 
 from __future__ import annotations
@@ -22,12 +29,14 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pickle
+import shutil
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.obs import get_logger
+from repro.obs import get_logger, get_registry
 from repro.obs import trace as obs_trace
 from repro.eval.metrics import (
     accuracy,
@@ -55,8 +64,32 @@ from repro.pql.labeler import LabelTable, build_label_table
 from repro.pql.parser import parse
 from repro.pql.validate import QueryBinding, validate
 from repro.relational.database import Database
+# Leaf-module imports only: repro.resilience.fallback (and therefore the
+# package __init__) imports back into repro.pql, so the planner must not
+# trigger it at import time.  fit_fallback is imported lazily in _degrade.
+from repro.resilience.checkpoint import (
+    CorruptModelError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    sha256_file,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.faults import fault_point
+from repro.resilience.guards import DivergenceError
+from repro.resilience.retry import (
+    Deadline,
+    StageFailedError,
+    StageTimeoutError,
+    run_stage,
+)
 
-__all__ = ["PlannerConfig", "PredictiveQueryPlanner", "TrainedPredictiveModel"]
+__all__ = [
+    "PlannerConfig",
+    "PredictiveQueryPlanner",
+    "TrainedPredictiveModel",
+    "CorruptModelError",
+]
 
 _log = get_logger("pql.planner")
 
@@ -143,14 +176,32 @@ class PlannerConfig:
 class PredictiveQueryPlanner:
     """Compiles PQL queries over one database into trained models."""
 
-    def __init__(self, db: Database, config: Optional[PlannerConfig] = None) -> None:
+    def __init__(
+        self,
+        db: Database,
+        config: Optional[PlannerConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
         self.db = db
         self.config = config or PlannerConfig()
+        #: Fault-tolerance policy; None = no retries/budgets/fallback.
+        self.resilience = resilience
 
     def plan(self, query: Union[str, PredictiveQuery]) -> QueryBinding:
         """Parse (if needed) and validate a query against the schema."""
         parsed = parse(query) if isinstance(query, str) else query
         return validate(parsed, self.db)
+
+    def _run_stage(self, name: str, fn):
+        """Run one compile stage under the configured retry/budget policy."""
+        if self.resilience is None:
+            return fn(deadline=Deadline(None, stage=name), attempt=0)
+        return run_stage(
+            name,
+            fn,
+            policy=self.resilience.retry_policy(),
+            budget_seconds=self.resilience.timeout_for(name),
+        )
 
     def fit(
         self,
@@ -165,12 +216,18 @@ class PredictiveQueryPlanner:
                 "query compiled", extra={"task_type": binding.task_type.value,
                                          "entity": binding.query.entity_table},
             )
-            with obs_trace.span("planner.label") as label_span:
-                train_labels = build_label_table(self.db, binding, split.train_cutoffs)
-                val_labels = build_label_table(self.db, binding, [split.val_cutoff])
-                label_span.add_counter("label.train_rows", len(train_labels))
-                label_span.add_counter("label.val_rows", len(val_labels))
-                label_span.add_counter("label.train_cutoffs", len(split.train_cutoffs))
+
+            def label_stage(deadline: Deadline, attempt: int):
+                with obs_trace.span("planner.label") as label_span:
+                    train = build_label_table(self.db, binding, split.train_cutoffs)
+                    val = build_label_table(self.db, binding, [split.val_cutoff])
+                    label_span.add_counter("label.train_rows", len(train))
+                    label_span.add_counter("label.val_rows", len(val))
+                    label_span.add_counter("label.train_cutoffs", len(split.train_cutoffs))
+                deadline.check("planner.label")
+                return train, val
+
+            train_labels, val_labels = self._run_stage("label", label_stage)
             if len(train_labels) == 0:
                 raise ValueError("no training rows: check cutoffs against the data's time span")
             _log.info(
@@ -179,38 +236,110 @@ class PredictiveQueryPlanner:
 
             train_labels = self._maybe_subsample(train_labels)
             stats_cutoff = min(split.train_cutoffs)
-            with obs_trace.span("planner.graph_build") as build_span:
-                graph = build_graph(self.db, stats_cutoff=stats_cutoff)
-                build_span.add_counter("graph.nodes", graph.total_nodes())
-                build_span.add_counter("graph.edges", graph.total_edges())
-                build_span.add_counter("graph.node_types", len(graph.node_types))
-                build_span.add_counter("graph.edge_types", len(graph.edge_types))
+
+            def graph_stage(deadline: Deadline, attempt: int):
+                with obs_trace.span("planner.graph_build") as build_span:
+                    built = build_graph(self.db, stats_cutoff=stats_cutoff)
+                    build_span.add_counter("graph.nodes", built.total_nodes())
+                    build_span.add_counter("graph.edges", built.total_edges())
+                    build_span.add_counter("graph.node_types", len(built.node_types))
+                    build_span.add_counter("graph.edge_types", len(built.edge_types))
+                deadline.check("planner.graph_build")
+                return built
+
+            graph = self._run_stage("graph_build", graph_stage)
             _log.info(
                 "graph compiled",
                 extra={"nodes": graph.total_nodes(), "edges": graph.total_edges()},
             )
             metadata = GraphMetadata.from_graph(graph)
-            rng = np.random.default_rng(self.config.seed)
-            sampler = self.config.make_sampler(graph, np.random.default_rng(self.config.seed + 1))
+
+            def train_stage(deadline: Deadline, attempt: int):
+                # Each attempt rebuilds model + sampler from the seed so a
+                # retry starts clean; after a mid-run failure with
+                # checkpointing enabled, the retry resumes from the last
+                # committed epoch instead of epoch 0.
+                rng = np.random.default_rng(self.config.seed)
+                sampler = self.config.make_sampler(
+                    graph, np.random.default_rng(self.config.seed + 1)
+                )
+                resume = bool(
+                    self.resilience
+                    and (self.resilience.resume
+                         or (attempt > 0 and self.resilience.checkpoint_dir))
+                )
+                if binding.task_type == TaskType.LINK:
+                    return self._fit_link(
+                        binding, split, graph, metadata, sampler, rng,
+                        train_labels, val_labels, deadline=deadline, resume=resume,
+                    )
+                return self._fit_node(
+                    binding, split, graph, metadata, sampler, rng,
+                    train_labels, val_labels, deadline=deadline, resume=resume,
+                )
 
             with obs_trace.span("planner.train"):
-                if binding.task_type == TaskType.LINK:
-                    model = self._fit_link(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
-                else:
-                    model = self._fit_node(binding, split, graph, metadata, sampler, rng, train_labels, val_labels)
+                try:
+                    model = self._run_stage("train", train_stage)
+                except (StageFailedError, StageTimeoutError, DivergenceError) as err:
+                    if self.resilience is None or not self.resilience.fallback:
+                        raise
+                    model = self._degrade(binding, graph, train_labels, val_labels, err)
+            if model.degraded_from is None:
                 trainer = model.node_trainer or model.link_trainer
-            _log.info(
-                "training finished",
-                extra={"epochs": len(trainer.history.train_loss),
-                       "best_epoch": trainer.history.best_epoch},
-            )
+                _log.info(
+                    "training finished",
+                    extra={"epochs": len(trainer.history.train_loss),
+                           "best_epoch": trainer.history.best_epoch},
+                )
             model.stats_cutoff = stats_cutoff
+            model.resilience = self.resilience
         return model
+
+    def _degrade(self, binding, graph, train_labels, val_labels, err) -> "TrainedPredictiveModel":
+        """Descend the fallback ladder after a failed GNN train stage."""
+        from repro.resilience.fallback import fit_fallback
+
+        reason = f"{type(err).__name__}: {err}"
+        get_registry().counter("resilience.degraded").inc()
+        obs_trace.add_counter("resilience.degraded")
+        _log.warning(
+            "GNN stage failed; descending the degradation ladder",
+            extra={"error": reason},
+        )
+        with obs_trace.span("planner.fallback"):
+            baseline = fit_fallback(
+                self.db, binding, graph, train_labels, val_labels,
+                include_two_hop=self.resilience.fallback_two_hop,
+            )
+        return TrainedPredictiveModel(
+            db=self.db,
+            binding=binding,
+            graph=graph,
+            config=self.config,
+            baseline=baseline,
+            degraded_from="gnn",
+            degraded_reason=reason,
+        )
+
+    def _train_config(self, resume: bool) -> TrainConfig:
+        """The inner-loop config with resilience policy threaded in."""
+        tc = self.config.train_config()
+        resil = self.resilience
+        if resil is not None:
+            tc.checkpoint_dir = resil.checkpoint_dir
+            tc.checkpoint_every = resil.checkpoint_every
+            tc.resume = resume
+            tc.divergence_recoveries = resil.divergence_recoveries
+            tc.lr_backoff = resil.lr_backoff
+            tc.grad_norm_limit = resil.grad_norm_limit
+        return tc
 
     # ------------------------------------------------------------------
     # Node tasks (binary / regression)
     # ------------------------------------------------------------------
-    def _fit_node(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels):
+    def _fit_node(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels,
+                  deadline=None, resume=False):
         entity_type = binding.query.entity_table
         model = HeteroGNN(
             metadata,
@@ -232,7 +361,7 @@ class PredictiveQueryPlanner:
             pos_weight = (1.0 - rate) / rate
         trainer = NodeTaskTrainer(
             model, graph, sampler, task,
-            config=self.config.train_config(),
+            config=self._train_config(resume),
             pos_weight=pos_weight,
         )
         train_ids = node_index_for_keys(graph, entity_type, train_labels.entity_keys)
@@ -243,7 +372,8 @@ class PredictiveQueryPlanner:
                 val_times=val_labels.cutoffs,
                 val_labels=val_labels.labels,
             )
-        trainer.fit(entity_type, train_ids, train_labels.cutoffs, train_labels.labels, **kwargs)
+        trainer.fit(entity_type, train_ids, train_labels.cutoffs, train_labels.labels,
+                    deadline=deadline, **kwargs)
         return TrainedPredictiveModel(
             db=self.db,
             binding=binding,
@@ -255,7 +385,8 @@ class PredictiveQueryPlanner:
     # ------------------------------------------------------------------
     # Link tasks
     # ------------------------------------------------------------------
-    def _fit_link(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels):
+    def _fit_link(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels,
+                  deadline=None, resume=False):
         entity_type = binding.query.entity_table
         item_type = binding.item_table
         model = TwoTowerModel(
@@ -271,7 +402,7 @@ class PredictiveQueryPlanner:
             model,
             graph,
             sampler,
-            config=self.config.train_config(),
+            config=self._train_config(resume),
             num_negatives=self.config.num_negatives,
         )
         q_ids, q_times, pos_items = self._explode_pairs(graph, entity_type, item_type, train_labels)
@@ -281,7 +412,7 @@ class PredictiveQueryPlanner:
         vq, vt, vi = self._explode_pairs(graph, entity_type, item_type, val_labels)
         if len(vq):
             kwargs = dict(val_query_ids=vq, val_query_times=vt, val_pos_item_ids=vi)
-        trainer.fit(entity_type, q_ids, q_times, pos_items, **kwargs)
+        trainer.fit(entity_type, q_ids, q_times, pos_items, deadline=deadline, **kwargs)
         return TrainedPredictiveModel(
             db=self.db,
             binding=binding,
@@ -317,7 +448,12 @@ class PredictiveQueryPlanner:
 
 
 class TrainedPredictiveModel:
-    """A fitted predictive query, ready to predict and self-evaluate."""
+    """A fitted predictive query, ready to predict and self-evaluate.
+
+    Usually backed by a trained GNN; after graceful degradation it is
+    backed by a fallback baseline instead, with ``degraded_from``
+    recording what failed and ``baseline.kind`` recording the rung.
+    """
 
     def __init__(
         self,
@@ -327,6 +463,9 @@ class TrainedPredictiveModel:
         config: PlannerConfig,
         node_trainer: Optional[NodeTaskTrainer] = None,
         link_trainer: Optional[LinkTaskTrainer] = None,
+        baseline=None,
+        degraded_from: Optional[str] = None,
+        degraded_reason: Optional[str] = None,
     ) -> None:
         self.db = db
         self.binding = binding
@@ -334,9 +473,18 @@ class TrainedPredictiveModel:
         self.config = config
         self.node_trainer = node_trainer
         self.link_trainer = link_trainer
+        #: Fallback predictor when the GNN stage degraded (see
+        #: :mod:`repro.resilience.fallback`).
+        self.baseline = baseline
+        #: What the fallback replaced (``"gnn"``), or None.
+        self.degraded_from = degraded_from
+        #: Human-readable cause of the degradation.
+        self.degraded_reason = degraded_reason
         #: Feature-statistics cutoff used at fit time (set by the planner;
         #: persisted so a reloaded model rebuilds the identical graph).
         self.stats_cutoff: Optional[int] = None
+        #: The planner's resilience policy (not persisted).
+        self.resilience: Optional[ResilienceConfig] = None
 
     @property
     def task_type(self) -> TaskType:
@@ -352,23 +500,35 @@ class TrainedPredictiveModel:
         Binary → P(positive); regression → value on the label scale.
         For link tasks use :meth:`rank_items`.
         """
-        if self.node_trainer is None:
+        if self.task_type == TaskType.LINK:
             raise RuntimeError("predict() is for node tasks; use rank_items() for LIST queries")
+        entity_keys = np.asarray(entity_keys)
+        if self.node_trainer is None:
+            if self.baseline is None:
+                raise RuntimeError("model has neither a trained GNN nor a fallback baseline")
+            cutoffs = np.full(len(entity_keys), int(cutoff), dtype=np.int64)
+            return self.baseline.predict(self.db, entity_keys, cutoffs)
         entity_type = self.binding.query.entity_table
-        ids = node_index_for_keys(self.graph, entity_type, np.asarray(entity_keys))
+        ids = node_index_for_keys(self.graph, entity_type, entity_keys)
         times = np.full(len(ids), int(cutoff), dtype=np.int64)
         return self.node_trainer.predict(entity_type, ids, times)
 
+    def _item_scorer(self):
+        scorer = self.link_trainer or self.baseline
+        if scorer is None:
+            raise RuntimeError("model has neither a trained ranker nor a fallback baseline")
+        return scorer
+
     def rank_items(self, entity_keys: np.ndarray, cutoff: int, k: int = 10):
         """Top-``k`` item keys and scores per entity (link tasks only)."""
-        if self.link_trainer is None:
+        if self.task_type != TaskType.LINK:
             raise RuntimeError("rank_items() is only available for LIST queries")
         entity_type = self.binding.query.entity_table
         item_type = self.binding.item_table
         q_ids = node_index_for_keys(self.graph, entity_type, np.asarray(entity_keys))
         times = np.full(len(q_ids), int(cutoff), dtype=np.int64)
         item_ids = np.arange(self.graph.num_nodes(item_type))
-        scores = self.link_trainer.score_against_items(entity_type, q_ids, times, item_ids)
+        scores = self._item_scorer().score_against_items(entity_type, q_ids, times, item_ids)
         item_keys = self.graph.node_keys[item_type]
         results = []
         for row in scores:
@@ -381,29 +541,47 @@ class TrainedPredictiveModel:
     # ------------------------------------------------------------------
     def evaluate(self, cutoff: int, k: int = 10) -> Dict[str, float]:
         """Metrics against ground-truth labels computed at ``cutoff``."""
-        with obs_trace.span("planner.evaluate") as eval_span:
-            labels = build_label_table(self.db, self.binding, [int(cutoff)])
-            eval_span.add_counter("eval.rows", len(labels))
-            if self.task_type == TaskType.LINK:
-                return self._evaluate_link(labels, k)
-            predictions = self.predict(labels.entity_keys, int(cutoff))
-            if self.task_type == TaskType.BINARY:
-                return {
-                    "auroc": auroc(labels.labels, predictions),
-                    "average_precision": average_precision(labels.labels, predictions),
-                    "accuracy": accuracy(labels.labels, (predictions > 0.5).astype(float)),
-                    "f1": f1_score(labels.labels, (predictions > 0.5).astype(float)),
-                    "brier": brier_score(labels.labels, predictions),
-                    "ece": expected_calibration_error(labels.labels, predictions),
-                    "num_examples": float(len(labels)),
-                    "positive_rate": labels.positive_rate,
-                }
+        resil = self.resilience
+
+        def evaluate_stage(deadline: Deadline, attempt: int) -> Dict[str, float]:
+            with obs_trace.span("planner.evaluate") as eval_span:
+                labels = build_label_table(self.db, self.binding, [int(cutoff)])
+                eval_span.add_counter("eval.rows", len(labels))
+                if self.task_type == TaskType.LINK:
+                    result = self._evaluate_link(labels, k)
+                else:
+                    result = self._evaluate_node(labels, cutoff)
+            deadline.check("planner.evaluate")
+            return result
+
+        if resil is None:
+            return evaluate_stage(Deadline(None, stage="evaluate"), 0)
+        return run_stage(
+            "evaluate",
+            evaluate_stage,
+            policy=resil.retry_policy(),
+            budget_seconds=resil.timeout_for("evaluate"),
+        )
+
+    def _evaluate_node(self, labels: LabelTable, cutoff: int) -> Dict[str, float]:
+        predictions = self.predict(labels.entity_keys, int(cutoff))
+        if self.task_type == TaskType.BINARY:
             return {
-                "mae": mae(labels.labels, predictions),
-                "rmse": rmse(labels.labels, predictions),
-                "r2": r2_score(labels.labels, predictions),
+                "auroc": auroc(labels.labels, predictions),
+                "average_precision": average_precision(labels.labels, predictions),
+                "accuracy": accuracy(labels.labels, (predictions > 0.5).astype(float)),
+                "f1": f1_score(labels.labels, (predictions > 0.5).astype(float)),
+                "brier": brier_score(labels.labels, predictions),
+                "ece": expected_calibration_error(labels.labels, predictions),
                 "num_examples": float(len(labels)),
+                "positive_rate": labels.positive_rate,
             }
+        return {
+            "mae": mae(labels.labels, predictions),
+            "rmse": rmse(labels.labels, predictions),
+            "r2": r2_score(labels.labels, predictions),
+            "num_examples": float(len(labels)),
+        }
 
     def _evaluate_link(self, labels: LabelTable, k: int) -> Dict[str, float]:
         entity_type = self.binding.query.entity_table
@@ -415,7 +593,7 @@ class TrainedPredictiveModel:
         subset = labels.subset(np.asarray(keep))
         q_ids = node_index_for_keys(self.graph, entity_type, subset.entity_keys)
         item_ids = np.arange(self.graph.num_nodes(item_type))
-        scores = self.link_trainer.score_against_items(
+        scores = self._item_scorer().score_against_items(
             entity_type, q_ids, subset.cutoffs, item_ids
         )
         item_key_to_node = {key: i for i, key in enumerate(self.graph.node_keys[item_type].tolist())}
@@ -438,15 +616,22 @@ class TrainedPredictiveModel:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    WEIGHTS_FILE = "weights.npz"
+    FALLBACK_FILE = "fallback.pkl"
+    MANIFEST_FILE = "manifest.json"
+
     def save(self, directory: str) -> None:
-        """Persist the trained model to ``directory``.
+        """Persist the trained model to ``directory`` atomically.
 
         Layout: ``manifest.json`` (query text, planner config, task
-        metadata) and ``weights.npz`` (every parameter by dotted name).
-        The database itself is *not* saved — reload against the same
-        (or a schema-compatible, refreshed) database.
+        metadata, SHA-256 checksums, degradation provenance) plus
+        ``weights.npz`` (GNN parameters by dotted name) or
+        ``fallback.pkl`` (a degraded model's baseline).  Everything is
+        staged into a sibling temp directory and renamed into place, so
+        a crash mid-save never corrupts a previously saved model.  The
+        database itself is *not* saved — reload against the same (or a
+        schema-compatible, refreshed) database.
         """
-        os.makedirs(directory, exist_ok=True)
         trainer = self.node_trainer or self.link_trainer
         manifest = {
             "query": str(self.binding.query),
@@ -457,10 +642,55 @@ class TrainedPredictiveModel:
         if self.node_trainer is not None:
             manifest["target_mean"] = self.node_trainer._target_mean
             manifest["target_std"] = self.node_trainer._target_std
-        with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2)
-        state = trainer.model.state_dict()
-        np.savez(os.path.join(directory, "weights.npz"), **state)
+        if self.degraded_from is not None:
+            manifest["degraded_from"] = self.degraded_from
+            manifest["degraded_reason"] = self.degraded_reason
+
+        staging = directory.rstrip(os.sep) + ".tmp"
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        os.makedirs(staging)
+        if trainer is not None:
+            weights_path = os.path.join(staging, self.WEIGHTS_FILE)
+            atomic_write_npz(weights_path, trainer.model.state_dict())
+            manifest["weights_sha256"] = sha256_file(weights_path)
+        if self.baseline is not None:
+            fallback_path = os.path.join(staging, self.FALLBACK_FILE)
+            atomic_write_bytes(fallback_path, pickle.dumps(self.baseline))
+            manifest["fallback_kind"] = self.baseline.kind
+            manifest["fallback_sha256"] = sha256_file(fallback_path)
+        atomic_write_json(os.path.join(staging, self.MANIFEST_FILE), manifest)
+        # Crash window under test: everything staged, commit pending.  A
+        # kill here must leave any previously saved model untouched.
+        fault_point("planner.save")
+        backup = directory.rstrip(os.sep) + ".old"
+        if os.path.exists(backup):
+            shutil.rmtree(backup)
+        if os.path.isdir(directory):
+            os.rename(directory, backup)
+        os.rename(staging, directory)
+        if os.path.exists(backup):
+            shutil.rmtree(backup)
+        _log.info(
+            "model saved",
+            extra={"directory": directory,
+                   "degraded_from": self.degraded_from or ""},
+        )
+
+    @classmethod
+    def _verify_payload(cls, directory: str, filename: str, expected: Optional[str]) -> str:
+        path = os.path.join(directory, filename)
+        if not os.path.exists(path):
+            raise CorruptModelError(f"saved model is missing {filename!r} under {directory!r}")
+        if expected is not None:
+            actual = sha256_file(path)
+            if actual != expected:
+                raise CorruptModelError(
+                    f"{filename!r} failed its manifest checksum: "
+                    f"manifest={expected[:12]}… actual={actual[:12]}… — "
+                    f"the model directory is corrupt; re-save or restore from backup"
+                )
+        return path
 
     @classmethod
     def load(cls, directory: str, db: Database) -> "TrainedPredictiveModel":
@@ -468,18 +698,39 @@ class TrainedPredictiveModel:
 
         The graph is recompiled from ``db`` with the persisted
         feature-statistics cutoff, the architecture is rebuilt from the
-        persisted config, and the weights are restored.
+        persisted config, and the weights are restored — after every
+        payload passes its manifest SHA-256 (mismatch raises
+        :class:`CorruptModelError`).
         """
-        with open(os.path.join(directory, "manifest.json"), "r", encoding="utf-8") as handle:
+        with open(os.path.join(directory, cls.MANIFEST_FILE), "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         config = PlannerConfig(**manifest["config"])
         planner = PredictiveQueryPlanner(db, config)
         binding = planner.plan(manifest["query"])
         graph = build_graph(db, stats_cutoff=manifest["stats_cutoff"])
+
+        if manifest.get("fallback_kind"):
+            fallback_path = cls._verify_payload(
+                directory, cls.FALLBACK_FILE, manifest.get("fallback_sha256")
+            )
+            with open(fallback_path, "rb") as handle:
+                baseline = pickle.load(handle)
+            model = cls(
+                db=db, binding=binding, graph=graph, config=config,
+                baseline=baseline,
+                degraded_from=manifest.get("degraded_from"),
+                degraded_reason=manifest.get("degraded_reason"),
+            )
+            model.stats_cutoff = manifest["stats_cutoff"]
+            return model
+
         metadata = GraphMetadata.from_graph(graph)
         rng = np.random.default_rng(config.seed)
         sampler = config.make_sampler(graph, np.random.default_rng(config.seed + 1))
-        weights = np.load(os.path.join(directory, "weights.npz"))
+        weights_path = cls._verify_payload(
+            directory, cls.WEIGHTS_FILE, manifest.get("weights_sha256")
+        )
+        weights = np.load(weights_path)
         state = {name: weights[name] for name in weights.files}
 
         if binding.task_type == TaskType.LINK:
@@ -535,7 +786,7 @@ class TrainedPredictiveModel:
         to a database, queried with SQL, or exported to CSV — closing
         the declarative loop.
         """
-        if self.node_trainer is None:
+        if self.task_type == TaskType.LINK:
             raise RuntimeError("materialize() supports node tasks; LIST queries rank instead")
         labels = build_label_table(self.db, self.binding, [int(cutoff)])
         scores = self.predict(labels.entity_keys, int(cutoff))

@@ -1,22 +1,46 @@
-"""CSV persistence: a database saves as one CSV per table plus schema.json."""
+"""CSV persistence: a database saves as one CSV per table plus schema.json.
+
+Loading is strict by default — any malformed row fails the whole load
+with the table, row number, and column named in the error.  Pass
+``lenient=True`` to quarantine malformed rows instead: each bad row is
+dropped, counted per table, and reported once per table at WARNING
+level, so a mostly-good export still loads.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs import get_logger, get_registry
 from repro.relational.column import Column
 from repro.relational.database import Database
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 from repro.relational.types import DType
+from repro.resilience.faults import fault_point
 
-__all__ = ["save_database", "load_database"]
+__all__ = ["save_database", "load_database", "MalformedRowError"]
 
 _SCHEMA_FILE = "schema.json"
 _NULL_TOKEN = ""
+
+_log = get_logger("relational.csvio")
+
+
+class MalformedRowError(ValueError):
+    """A CSV row failed to parse against the table schema (strict mode)."""
+
+    def __init__(self, table: str, row_number: int, column: Optional[str], detail: str) -> None:
+        where = f"table {table!r}, row {row_number}"
+        if column is not None:
+            where += f", column {column!r}"
+        super().__init__(f"{where}: {detail} (pass lenient=True to quarantine bad rows)")
+        self.table = table
+        self.row_number = row_number
+        self.column = column
 
 
 def save_database(db: Database, directory: str) -> None:
@@ -58,18 +82,32 @@ def _serialize(value, dtype: DType) -> str:
     return str(value)
 
 
-def load_database(directory: str) -> Database:
-    """Load a database previously written by :func:`save_database`."""
+def load_database(directory: str, lenient: bool = False) -> Database:
+    """Load a database previously written by :func:`save_database`.
+
+    Parameters
+    ----------
+    lenient:
+        When False (default), the first malformed row raises
+        :class:`MalformedRowError` naming the table, row, and column.
+        When True, malformed rows are quarantined (dropped) with one
+        WARNING per affected table; quarantine totals are recorded in
+        the ``csv.quarantined_rows`` metric.
+    """
+    fault_point("csv.load")
     with open(os.path.join(directory, _SCHEMA_FILE), "r", encoding="utf-8") as handle:
         manifest = json.load(handle)
     db = Database(name=manifest["name"])
     for schema_dict in manifest["tables"]:
         schema = TableSchema.from_dict(schema_dict)
-        db.add_table(_load_table(schema, os.path.join(directory, f"{schema.name}.csv")))
+        db.add_table(
+            _load_table(schema, os.path.join(directory, f"{schema.name}.csv"), lenient=lenient)
+        )
     return db
 
 
-def _load_table(schema: TableSchema, path: str) -> Table:
+def _load_table(schema: TableSchema, path: str, lenient: bool = False) -> Table:
+    dtypes = [schema.dtype_of(name) for name in schema.column_names]
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
@@ -77,19 +115,52 @@ def _load_table(schema: TableSchema, path: str) -> Table:
             raise ValueError(
                 f"CSV header of {path!r} does not match schema: {header} != {schema.column_names}"
             )
-        raw: Dict[str, List] = {name: [] for name in header}
-        for row in reader:
-            for name, cell in zip(header, row):
-                raw[name].append(cell)
+        parsed: Dict[str, List] = {name: [] for name in header}
+        quarantined = 0
+        # Row-wise parse so one bad row can be pinpointed (strict) or
+        # dropped without poisoning its columns (lenient).
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                values = _parse_row(schema.name, row_number, header, dtypes, row)
+            except MalformedRowError:
+                if not lenient:
+                    raise
+                quarantined += 1
+                continue
+            for name, value in zip(header, values):
+                parsed[name].append(value)
+    if quarantined:
+        get_registry().counter("csv.quarantined_rows").inc(quarantined)
+        _log.warning(
+            "quarantined malformed rows",
+            extra={"table": schema.name, "quarantined": quarantined,
+                   "kept": len(parsed[header[0]]) if header else 0},
+        )
     columns = {
-        name: _parse_column(raw[name], schema.dtype_of(name)) for name in header
+        name: Column(parsed[name], dtype) for name, dtype in zip(header, dtypes)
     }
     return Table(schema, columns)
 
 
-def _parse_column(cells: List[str], dtype: DType) -> Column:
-    values = [None if cell == _NULL_TOKEN and dtype != DType.STRING else _parse(cell, dtype) for cell in cells]
-    return Column(values, dtype)
+def _parse_row(table: str, row_number: int, header: List[str], dtypes: List[DType], row: List[str]):
+    if len(row) != len(header):
+        raise MalformedRowError(
+            table, row_number, None,
+            f"expected {len(header)} fields, got {len(row)}",
+        )
+    values = []
+    for name, dtype, cell in zip(header, dtypes, row):
+        if cell == _NULL_TOKEN and dtype != DType.STRING:
+            values.append(None)
+            continue
+        try:
+            values.append(_parse(cell, dtype))
+        except (ValueError, OverflowError) as err:
+            raise MalformedRowError(
+                table, row_number, name,
+                f"cannot parse {cell!r} as {dtype.value}: {err}",
+            ) from err
+    return values
 
 
 def _parse(cell: str, dtype: DType):

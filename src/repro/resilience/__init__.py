@@ -1,0 +1,103 @@
+"""Fault-tolerant pipeline execution.
+
+The declarative promise — write a predictive query, get a trained
+model — only survives production if the compiled pipeline survives
+production's failures.  This package supplies the machinery, all
+dependency-free and off by default:
+
+* :mod:`repro.resilience.checkpoint` — atomic, checksummed snapshots
+  (temp file + fsync + rename; SHA-256 manifest) used for epoch
+  checkpoints and model save/load;
+* :mod:`repro.resilience.guards` — NaN/inf-loss and exploding-gradient
+  detection with restore-and-halve-LR recovery;
+* :mod:`repro.resilience.retry` — per-stage deadline budgets and
+  seeded exponential-backoff retries;
+* :mod:`repro.resilience.fallback` — the GNN → GBDT → heuristic
+  degradation ladder;
+* :mod:`repro.resilience.faults` — a seeded fault injector that makes
+  every recovery path above deterministic to test.
+
+:class:`ResilienceConfig` is the single knob surface: the planner
+takes one and threads the relevant pieces into labeling, graph build,
+training, and persistence.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CorruptCheckpointError,
+    CorruptModelError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    sha256_file,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    SimulatedCrash,
+    corrupt_value,
+    fault_point,
+    get_injector,
+    injected,
+    install,
+    uninstall,
+)
+from repro.resilience.guards import DivergenceError, DivergenceGuard
+from repro.resilience.retry import (
+    RETRYABLE_ERRORS,
+    Deadline,
+    RetryPolicy,
+    StageFailedError,
+    StageTimeoutError,
+    run_stage,
+)
+
+# Imported last: fallback reaches into repro.pql (for label/AST types),
+# which imports the planner, which imports the leaf modules above —
+# every other name in this package must already be bound by the time
+# that cycle re-enters here.
+from repro.resilience.fallback import (
+    FALLBACK_KINDS,
+    GBDTFallback,
+    HeuristicFallback,
+    PopularityFallback,
+    fit_fallback,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "CorruptCheckpointError",
+    "CorruptModelError",
+    "Deadline",
+    "DivergenceError",
+    "DivergenceGuard",
+    "FALLBACK_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "GBDTFallback",
+    "HeuristicFallback",
+    "InjectedFault",
+    "PopularityFallback",
+    "ResilienceConfig",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "SimulatedCrash",
+    "StageFailedError",
+    "StageTimeoutError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "corrupt_value",
+    "fault_point",
+    "fit_fallback",
+    "get_injector",
+    "injected",
+    "install",
+    "run_stage",
+    "sha256_file",
+    "uninstall",
+]

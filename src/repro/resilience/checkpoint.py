@@ -1,0 +1,174 @@
+"""Atomic, checksummed checkpointing.
+
+Two layers:
+
+* low-level atomic writers — temp file in the destination directory,
+  flush + ``fsync``, then ``os.replace`` — so a crash mid-write never
+  leaves a half-written file under the final name;
+* :class:`CheckpointManager` — numbered array+metadata snapshots under
+  one directory with a ``checkpoint.json`` manifest holding a SHA-256
+  per payload.  ``load`` verifies the checksum and raises
+  :class:`CorruptCheckpointError` on mismatch, so a torn or bit-rotted
+  checkpoint is a clean, diagnosable failure instead of silently wrong
+  weights.
+
+The trainers write one snapshot per epoch (slot ``"train"``); the
+planner's model ``save``/``load`` reuse the atomic writers and
+checksum helpers directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CorruptCheckpointError",
+    "CorruptModelError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "sha256_file",
+    "CheckpointManager",
+]
+
+
+class CorruptCheckpointError(RuntimeError):
+    """A checkpoint payload failed its manifest checksum."""
+
+
+class CorruptModelError(RuntimeError):
+    """A saved model directory failed integrity verification."""
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=os.path.basename(path) + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_json(path: str, obj: Any) -> None:
+    """Atomically write ``obj`` as indented JSON."""
+    atomic_write_bytes(path, json.dumps(obj, indent=2).encode("utf-8"))
+
+
+def atomic_write_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically write an ``.npz`` archive of named arrays."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+def sha256_file(path: str) -> str:
+    """Hex SHA-256 of a file's contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class CheckpointManager:
+    """Checksummed snapshots of (arrays, metadata) under one directory.
+
+    Layout::
+
+        <dir>/checkpoint.json          manifest: slot -> {file, sha256, meta}
+        <dir>/<slot>-<counter>.npz     array payloads
+
+    Writes are crash-ordered: the payload lands (atomically) before the
+    manifest points at it, so the manifest always references a complete
+    file.  Each save bumps a per-slot counter and removes the previous
+    payload *after* the manifest commit.
+    """
+
+    MANIFEST = "checkpoint.json"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST)
+
+    def _read_manifest(self) -> Dict[str, Any]:
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return {"slots": {}}
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save(self, slot: str, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> str:
+        """Write one snapshot; returns the payload path.
+
+        ``meta`` must be JSON-serializable (non-finite floats allowed).
+        """
+        manifest = self._read_manifest()
+        previous = manifest["slots"].get(slot)
+        counter = (previous["counter"] + 1) if previous else 0
+        filename = f"{slot}-{counter:06d}.npz"
+        payload_path = os.path.join(self.directory, filename)
+        atomic_write_npz(payload_path, arrays)
+        manifest["slots"][slot] = {
+            "file": filename,
+            "counter": counter,
+            "sha256": sha256_file(payload_path),
+            "meta": meta,
+        }
+        atomic_write_json(self._manifest_path(), manifest)
+        if previous and previous["file"] != filename:
+            stale = os.path.join(self.directory, previous["file"])
+            if os.path.exists(stale):
+                os.unlink(stale)
+        return payload_path
+
+    def has(self, slot: str) -> bool:
+        """Whether a committed snapshot exists for ``slot``."""
+        return slot in self._read_manifest()["slots"]
+
+    def load(self, slot: str) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Read and verify one snapshot; (arrays, meta).
+
+        Raises :class:`KeyError` for a missing slot and
+        :class:`CorruptCheckpointError` on checksum mismatch or an
+        unreadable payload.
+        """
+        entry = self._read_manifest()["slots"].get(slot)
+        if entry is None:
+            raise KeyError(f"no checkpoint in slot {slot!r} under {self.directory!r}")
+        payload_path = os.path.join(self.directory, entry["file"])
+        if not os.path.exists(payload_path):
+            raise CorruptCheckpointError(
+                f"checkpoint payload {entry['file']!r} is missing from {self.directory!r}"
+            )
+        actual = sha256_file(payload_path)
+        if actual != entry["sha256"]:
+            raise CorruptCheckpointError(
+                f"checkpoint {entry['file']!r} failed its checksum: "
+                f"manifest={entry['sha256'][:12]}… actual={actual[:12]}…"
+            )
+        with np.load(payload_path) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        return arrays, entry["meta"]
+
+    def meta(self, slot: str) -> Optional[Dict[str, Any]]:
+        """The metadata of a slot without loading arrays (None if absent)."""
+        entry = self._read_manifest()["slots"].get(slot)
+        return entry["meta"] if entry else None

@@ -1,0 +1,81 @@
+"""Divergence detection for training loops.
+
+A long GNN run dies two ways: the loss goes NaN/inf (bad batch, LR too
+hot, overflow in an exp) or the gradient norm explodes a few steps
+before the loss does.  :class:`DivergenceGuard` is the policy object
+the trainers consult every optimizer step; when it trips, the trainer
+restores its last good checkpoint, halves the learning rate, and
+replays the epoch — up to a bounded number of recoveries before
+failing with a structured :class:`DivergenceError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["DivergenceError", "DivergenceGuard"]
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged and exhausted its recovery budget."""
+
+    def __init__(self, reason: str, epoch: int, value: float, recoveries: int) -> None:
+        super().__init__(
+            f"training diverged at epoch {epoch} ({reason}: {value!r}) "
+            f"after {recoveries} recovery attempt(s)"
+        )
+        self.reason = reason
+        self.epoch = epoch
+        self.value = value
+        self.recoveries = recoveries
+
+
+class DivergenceGuard:
+    """Detects non-finite losses and exploding gradients.
+
+    Parameters
+    ----------
+    max_recoveries:
+        How many restore-and-retry cycles are allowed before
+        :class:`DivergenceError` is raised.
+    lr_factor:
+        Multiplier applied to the learning rate on each recovery
+        (0.5 = halve).
+    grad_norm_limit:
+        Pre-clip gradient norms above this are treated as divergence
+        even while the loss is still finite.
+    """
+
+    def __init__(
+        self,
+        max_recoveries: int = 2,
+        lr_factor: float = 0.5,
+        grad_norm_limit: float = 1e6,
+    ) -> None:
+        if not 0.0 < lr_factor < 1.0:
+            raise ValueError("lr_factor must be in (0, 1)")
+        self.max_recoveries = max_recoveries
+        self.lr_factor = lr_factor
+        self.grad_norm_limit = grad_norm_limit
+        self.recoveries = 0
+
+    def check_loss(self, value: float) -> Optional[str]:
+        """Reason string if ``value`` signals divergence, else None."""
+        if not math.isfinite(value):
+            return "non-finite loss"
+        return None
+
+    def check_grad_norm(self, norm: float) -> Optional[str]:
+        """Reason string if the pre-clip gradient norm signals divergence."""
+        if not math.isfinite(norm):
+            return "non-finite gradient norm"
+        if norm > self.grad_norm_limit:
+            return "exploding gradient norm"
+        return None
+
+    def record_recovery(self, reason: str, epoch: int, value: float) -> None:
+        """Count one recovery; raise once the budget is exhausted."""
+        if self.recoveries >= self.max_recoveries:
+            raise DivergenceError(reason, epoch, value, self.recoveries)
+        self.recoveries += 1

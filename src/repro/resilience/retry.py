@@ -1,0 +1,214 @@
+"""Stage deadlines and seeded retry with exponential backoff.
+
+The planner compiles a query through four stages — label, graph_build,
+train, evaluate — and a production run needs each stage to (a) give up
+before it eats the whole job's budget and (b) shrug off transient
+faults without restarting the pipeline.  Both policies live here:
+
+* :class:`Deadline` — a cooperative wall-clock budget.  Long loops
+  call :meth:`Deadline.check` at natural yield points (batch/epoch
+  boundaries); exceeding the budget raises :class:`StageTimeoutError`.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  **seeded** jitter, so the retry schedule in a test is reproducible
+  to the microsecond of intended delay.
+* :func:`run_stage` — runs one stage under both policies, records
+  retries/timeouts into :mod:`repro.obs`, and wraps exhaustion in a
+  structured :class:`StageFailedError` naming the stage, the attempt
+  count, and the final cause.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.obs import get_logger, get_registry
+from repro.obs import trace as obs_trace
+from repro.resilience.faults import InjectedFault
+
+__all__ = [
+    "StageTimeoutError",
+    "StageFailedError",
+    "Deadline",
+    "RetryPolicy",
+    "run_stage",
+    "RETRYABLE_ERRORS",
+]
+
+_log = get_logger("resilience.retry")
+
+#: Error types a stage retry is allowed to absorb.  Deliberately
+#: narrow: programming errors (TypeError, KeyError, …) propagate
+#: immediately instead of burning the retry budget.
+RETRYABLE_ERRORS: Tuple[Type[BaseException], ...] = (
+    InjectedFault,
+    OSError,
+    ConnectionError,
+)
+
+
+class StageTimeoutError(RuntimeError):
+    """A pipeline stage exceeded its deadline budget."""
+
+    def __init__(self, stage: str, budget_seconds: float, elapsed_seconds: float) -> None:
+        super().__init__(
+            f"stage {stage!r} exceeded its {budget_seconds:.3f}s budget "
+            f"(elapsed {elapsed_seconds:.3f}s)"
+        )
+        self.stage = stage
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class StageFailedError(RuntimeError):
+    """A pipeline stage failed after exhausting its retry budget."""
+
+    def __init__(self, stage: str, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.stage = stage
+        self.attempts = attempts
+        self.cause = cause
+
+
+class Deadline:
+    """A cooperative wall-clock budget for one stage attempt."""
+
+    def __init__(self, seconds: Optional[float], stage: str = "stage") -> None:
+        self.seconds = seconds
+        self.stage = stage
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (infinity when unbudgeted)."""
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining <= 0.0
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`StageTimeoutError` if the budget is spent."""
+        if self.seconds is not None and self.expired:
+            raise StageTimeoutError(self.stage, self.seconds, self.elapsed)
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, … is
+    ``min(max_delay, base_delay * multiplier**attempt)`` scaled by a
+    jitter factor drawn from the policy's own seeded generator — so two
+    policies built with the same seed produce identical schedules.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 0,
+        base_delay: float = 0.05,
+        max_delay: float = 5.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        """The (jittered) delay before retry number ``attempt + 1``."""
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return base * (1.0 + self.jitter * float(self._rng.random()))
+
+    def wait(self, attempt: int) -> float:
+        """Sleep the computed delay; returns it (for logging/tests)."""
+        seconds = self.delay(attempt)
+        if seconds > 0:
+            self._sleep(seconds)
+        return seconds
+
+
+def run_stage(
+    stage: str,
+    fn: Callable[..., object],
+    policy: Optional[RetryPolicy] = None,
+    budget_seconds: Optional[float] = None,
+    retryable: Tuple[Type[BaseException], ...] = RETRYABLE_ERRORS,
+):
+    """Run ``fn(deadline=..., attempt=...)`` under retry + deadline policy.
+
+    Each attempt receives a fresh :class:`Deadline`; cooperative stages
+    call ``deadline.check()`` inside their loops, and stages that
+    cannot yield are still measured — an overrun that completes is
+    recorded as a budget overrun (counter + warning) rather than
+    retroactively failed.
+
+    Timeouts are not retried (deterministic work that blew its budget
+    once will blow it again); transient ``retryable`` errors are, up to
+    ``policy.max_retries``, with backoff between attempts.  Exhaustion
+    raises :class:`StageFailedError` carrying the last cause.
+    """
+    policy = policy or RetryPolicy(max_retries=0)
+    registry = get_registry()
+    attempts = policy.max_retries + 1
+    last_error: Optional[BaseException] = None
+    for attempt in range(attempts):
+        deadline = Deadline(budget_seconds, stage=stage)
+        try:
+            result = fn(deadline=deadline, attempt=attempt)
+        except StageTimeoutError as err:
+            registry.counter("resilience.stage_timeouts").inc()
+            obs_trace.add_counter(f"resilience.{stage}.timeouts")
+            _log.warning(
+                "stage deadline exceeded",
+                extra={"stage": stage, "budget_seconds": err.budget_seconds,
+                       "elapsed_seconds": round(err.elapsed_seconds, 3)},
+            )
+            raise
+        except retryable as err:
+            last_error = err
+            registry.counter("resilience.retries").inc()
+            obs_trace.add_counter(f"resilience.{stage}.retries")
+            if attempt + 1 >= attempts:
+                break
+            waited = policy.wait(attempt)
+            _log.warning(
+                "stage failed; retrying",
+                extra={"stage": stage, "attempt": attempt + 1,
+                       "error": f"{type(err).__name__}: {err}",
+                       "backoff_seconds": round(waited, 4)},
+            )
+            continue
+        if budget_seconds is not None and deadline.elapsed > budget_seconds:
+            # The stage finished but overran: record it so operators see
+            # budget pressure before it becomes a hard timeout.
+            registry.counter("resilience.budget_overruns").inc()
+            obs_trace.add_counter(f"resilience.{stage}.budget_overruns")
+            _log.warning(
+                "stage overran its budget (completed anyway)",
+                extra={"stage": stage, "budget_seconds": budget_seconds,
+                       "elapsed_seconds": round(deadline.elapsed, 3)},
+            )
+        return result
+    assert last_error is not None
+    raise StageFailedError(stage, attempts, last_error)

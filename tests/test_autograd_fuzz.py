@@ -8,9 +8,20 @@ whose backward closure is wrong fails here on some composition.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.nn import Tensor
+
+# Finite differences lose all precision once forward values get huge
+# (an eps-perturbation falls below float64 resolution), so examples
+# whose outputs leave this range are rejected rather than compared
+# against a meaningless numeric gradient.
+_WELL_CONDITIONED = 1e6
+
+
+def _assume_well_conditioned(value: np.ndarray) -> None:
+    value = np.asarray(value)
+    assume(np.all(np.isfinite(value)) and np.abs(value).max() < _WELL_CONDITIONED)
 
 # Unary ops applied to an intermediate (name, callable, input-domain-shift).
 _UNARY = [
@@ -68,6 +79,7 @@ def test_random_unary_chains(seed, ops, rows, cols):
         return out, t
 
     out, t = build(x.copy())
+    _assume_well_conditioned(out.data)
     out.sum().backward()
 
     def scalar(array):
@@ -105,6 +117,7 @@ def test_random_binary_dags(seed, pairs):
         return out.sum() + other.sum(), a, b
 
     loss, a, b = build(x.copy(), y.copy())
+    _assume_well_conditioned(loss.data)
     loss.backward()
 
     def scalar_wrt_x(array):

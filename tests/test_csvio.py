@@ -1,5 +1,7 @@
 """CSV persistence roundtrip tests."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -111,3 +113,73 @@ class TestCSVRoundtrip:
         loaded.validate()
         assert loaded["orders"].num_rows == db["orders"].num_rows
         assert loaded["orders"] == db["orders"]
+
+
+class TestLenientLoading:
+    """Malformed rows: strict mode pinpoints them, lenient quarantines them."""
+
+    def corrupted_dir(self, tmp_path):
+        db = sample_db()
+        directory = tmp_path / "out"
+        save_database(db, str(directory))
+        csv_path = directory / "users.csv"
+        lines = csv_path.read_text().splitlines()
+        # Row 3 (file line 4): unparseable float. Also append a short row.
+        lines[3] = lines[3].replace("-2.25", "not-a-float")
+        lines.append("9,extra")
+        csv_path.write_text("\n".join(lines) + "\n")
+        return directory
+
+    def test_strict_default_names_table_row_and_column(self, tmp_path):
+        from repro.relational.csvio import MalformedRowError
+
+        directory = self.corrupted_dir(tmp_path)
+        with pytest.raises(MalformedRowError) as err:
+            load_database(str(directory))
+        assert err.value.table == "users"
+        assert err.value.row_number == 4
+        assert err.value.column == "score"
+        assert "lenient" in str(err.value)
+
+    def test_short_row_detected_strict(self, tmp_path):
+        db = sample_db()
+        directory = tmp_path / "out"
+        save_database(db, str(directory))
+        csv_path = directory / "events.csv"
+        csv_path.write_text(csv_path.read_text() + "7,1\n")
+        from repro.relational.csvio import MalformedRowError
+
+        with pytest.raises(MalformedRowError) as err:
+            load_database(str(directory))
+        assert err.value.table == "events"
+        assert err.value.column is None
+
+    def test_lenient_quarantines_and_keeps_good_rows(self, tmp_path, caplog, monkeypatch):
+        # An earlier test may have called configure_logging, which turns
+        # off propagation from the "repro" logger — caplog needs it on.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        directory = self.corrupted_dir(tmp_path)
+        with caplog.at_level("WARNING", logger="repro.relational.csvio"):
+            loaded = load_database(str(directory), lenient=True)
+        users = loaded["users"]
+        assert users.num_rows == 2  # 3 originals minus the corrupt row
+        assert users["id"].to_list() == [1, 2]
+        record = next(r for r in caplog.records if "quarantined" in r.message)
+        assert getattr(record, "table") == "users"
+        assert getattr(record, "quarantined") == 2  # bad float + short row
+
+    def test_lenient_counts_into_metrics(self, tmp_path):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        load_database(str(self.corrupted_dir(tmp_path)), lenient=True)
+        assert registry.counter("csv.quarantined_rows").value == 2
+
+    def test_lenient_on_clean_data_is_identical(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "out"))
+        strict = load_database(str(tmp_path / "out"))
+        lenient = load_database(str(tmp_path / "out"), lenient=True)
+        for table in strict:
+            assert lenient[table.name] == table
