@@ -1,0 +1,255 @@
+"""Epoch-sampling throughput benchmark and regression gate.
+
+Measures seeds-sampled-per-second for one epoch of minibatch subgraph
+sampling under each execution path:
+
+* ``reference``        — reference sampler, serial
+* ``vectorized``       — vectorized sampler, serial
+* ``cached-cold``      — vectorized + LRU cache, first epoch (all misses)
+* ``cached-warm``      — same sampler, second epoch (all hits)
+* ``parallel-4``       — 4 worker processes + cache, cold epoch
+* ``parallel-4-warm``  — same loader, warm epoch
+
+Every path draws under the deterministic contract
+(:mod:`repro.graph.cache`), and the run cross-checks a sample of
+batches for bit-identity between the serial and parallel paths before
+reporting numbers — a benchmark of a diverging sampler is meaningless.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py                 # write BENCH_sampling.json
+    PYTHONPATH=src python benchmarks/bench_sampling.py --check BENCH_sampling.json
+
+``--check`` re-runs the suite and exits non-zero if any mode's
+throughput dropped more than 30% below the baseline file, or if the
+differential check fails.  The file doubles as a pytest module (run
+``pytest benchmarks/bench_sampling.py``) asserting the acceptance
+floor: warm-cache parallel sampling at ≥2× reference throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datasets import make_ecommerce
+from repro.graph import NeighborSampler, VectorizedNeighborSampler, build_graph
+from repro.graph.cache import CachedSampler, LRUSubgraphCache
+from repro.graph.parallel import ParallelSampleLoader
+
+DAY = 86400
+REGRESSION_TOLERANCE = 0.30  # fail --check below 70% of baseline throughput
+ACCEPTANCE_SPEEDUP = 2.0     # warm parallel path must beat reference by this
+
+
+def build_workload(num_customers: int = 240, num_products: int = 60, seed: int = 0):
+    """Graph + seed arrays + shuffled batches for one synthetic epoch."""
+    db = make_ecommerce(num_customers=num_customers, num_products=num_products, seed=seed)
+    graph = build_graph(db)
+    span = db.time_span()
+    cutoffs = np.linspace(span[0] + (span[1] - span[0]) // 2, span[1], 3).astype(np.int64)
+    ids = np.tile(np.arange(num_customers, dtype=np.int64), len(cutoffs))
+    times = np.repeat(cutoffs, num_customers)
+    order = np.random.default_rng(0).permutation(len(ids))
+    batch_size = 64
+    batches = [order[i: i + batch_size] for i in range(0, len(order), batch_size)]
+    return graph, ids, times, batches
+
+
+def make_path(graph, mode: str):
+    """(sampler-or-loader, epochs_to_run) for one benchmark mode."""
+    def ref():
+        return NeighborSampler(graph, fanouts=[4, 4], rng=np.random.default_rng(0))
+
+    def vec():
+        return VectorizedNeighborSampler(graph, fanouts=[4, 4], rng=np.random.default_rng(0))
+
+    if mode == "reference":
+        return CachedSampler(ref(), base_seed=0), 1
+    if mode == "vectorized":
+        return CachedSampler(vec(), base_seed=0), 1
+    if mode == "cached-cold":
+        return CachedSampler(vec(), base_seed=0, cache=LRUSubgraphCache(4096)), 1
+    if mode == "cached-warm":
+        return CachedSampler(vec(), base_seed=0, cache=LRUSubgraphCache(4096)), 2
+    if mode == "parallel-4":
+        return ParallelSampleLoader(
+            CachedSampler(vec(), base_seed=0, cache=LRUSubgraphCache(4096)),
+            num_workers=4,
+        ), 1
+    if mode == "parallel-4-warm":
+        return ParallelSampleLoader(
+            CachedSampler(vec(), base_seed=0, cache=LRUSubgraphCache(4096)),
+            num_workers=4,
+        ), 2
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def run_epoch(path, ids, times, batches) -> None:
+    if isinstance(path, ParallelSampleLoader):
+        for _ in path.iter_epoch("customers", ids, times, batches):
+            pass
+    else:
+        for batch in batches:
+            path.sample("customers", ids[batch], times[batch])
+
+
+def time_mode(graph, mode: str, ids, times, batches) -> float:
+    """Seconds for the *measured* epoch of one mode (warm modes time epoch 2)."""
+    path, epochs = make_path(graph, mode)
+    try:
+        for _ in range(epochs - 1):
+            run_epoch(path, ids, times, batches)  # warm-up epoch, untimed
+        start = time.perf_counter()
+        run_epoch(path, ids, times, batches)
+        return time.perf_counter() - start
+    finally:
+        if isinstance(path, ParallelSampleLoader):
+            path.close()
+
+
+def subgraphs_equal(a, b) -> bool:
+    if a.seed_type != b.seed_type or not np.array_equal(a.seed_locals, b.seed_locals):
+        return False
+    if sorted(a.node_types) != sorted(b.node_types):
+        return False
+    for node_type in a.node_types:
+        if not np.array_equal(a.node_orig(node_type), b.node_orig(node_type)):
+            return False
+    for edge_type in a.edge_types:
+        src_a, dst_a = a.edges_for(edge_type)
+        src_b, dst_b = b.edges_for(edge_type)
+        if not (np.array_equal(src_a, src_b) and np.array_equal(dst_a, dst_b)):
+            return False
+    return True
+
+
+def differential_check(graph, ids, times, batches, sample_count: int = 8) -> bool:
+    """Serial and parallel paths must agree bit-for-bit on a batch sample."""
+    probe = batches[:sample_count]
+    serial = CachedSampler(
+        VectorizedNeighborSampler(graph, fanouts=[4, 4], rng=np.random.default_rng(0)),
+        base_seed=0,
+    )
+    loader, _ = make_path(graph, "parallel-4")
+    try:
+        for batch, parallel_sub in loader.iter_epoch("customers", ids, times, probe):
+            serial_sub = serial.sample("customers", ids[batch], times[batch])
+            if not subgraphs_equal(serial_sub, parallel_sub):
+                return False
+    finally:
+        loader.close()
+    return True
+
+
+def run_suite(num_customers: int = 240) -> Dict:
+    graph, ids, times, batches = build_workload(num_customers=num_customers)
+    report: Dict = {
+        "workload": {
+            "dataset": "ecommerce",
+            "num_customers": num_customers,
+            "num_seeds": len(ids),
+            "num_batches": len(batches),
+            "fanouts": [4, 4],
+            "batch_size": 64,
+        },
+        "modes": {},
+    }
+    report["differential_ok"] = differential_check(graph, ids, times, batches)
+    for mode in ("reference", "vectorized", "cached-cold", "cached-warm",
+                 "parallel-4", "parallel-4-warm"):
+        seconds = time_mode(graph, mode, ids, times, batches)
+        report["modes"][mode] = {
+            "seconds": round(seconds, 4),
+            "seeds_per_sec": round(len(ids) / seconds, 1),
+        }
+    base_rate = report["modes"]["reference"]["seeds_per_sec"]
+    for entry in report["modes"].values():
+        entry["speedup_vs_reference"] = round(entry["seeds_per_sec"] / base_rate, 2)
+    report["acceptance"] = {
+        "warm_parallel_speedup": report["modes"]["parallel-4-warm"]["speedup_vs_reference"],
+        "required_speedup": ACCEPTANCE_SPEEDUP,
+        "passed": (
+            report["differential_ok"]
+            and report["modes"]["parallel-4-warm"]["speedup_vs_reference"]
+            >= ACCEPTANCE_SPEEDUP
+        ),
+    }
+    return report
+
+
+def check_against_baseline(report: Dict, baseline: Dict) -> List[str]:
+    """Regression messages (empty when the run is clean)."""
+    problems = []
+    if not report["differential_ok"]:
+        problems.append("differential check failed: serial and parallel paths diverge")
+    for mode, entry in baseline.get("modes", {}).items():
+        current = report["modes"].get(mode)
+        if current is None:
+            problems.append(f"mode {mode!r} missing from current run")
+            continue
+        floor = entry["seeds_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if current["seeds_per_sec"] < floor:
+            problems.append(
+                f"{mode}: {current['seeds_per_sec']:.0f} seeds/s is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below baseline {entry['seeds_per_sec']:.0f}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_sampling.json",
+                        help="where to write the report (default: %(default)s)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline report; exit 1 on regression")
+    parser.add_argument("--num-customers", type=int, default=240,
+                        help="workload size (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(num_customers=args.num_customers)
+    for mode, entry in report["modes"].items():
+        print(f"{mode:<16} {entry['seconds']:>8.3f}s  {entry['seeds_per_sec']:>10.0f} seeds/s"
+              f"  {entry['speedup_vs_reference']:>6.2f}x")
+    print(f"differential check: {'ok' if report['differential_ok'] else 'FAILED'}")
+    print(f"warm parallel speedup: {report['acceptance']['warm_parallel_speedup']:.2f}x "
+          f"(required {ACCEPTANCE_SPEEDUP:.1f}x)")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = check_against_baseline(report, baseline)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    if not report["acceptance"]["passed"]:
+        print("ACCEPTANCE: warm parallel path below required speedup", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- pytest entry point (run: pytest benchmarks/bench_sampling.py) -----
+def test_sampling_throughput_acceptance(tmp_path):
+    report = run_suite(num_customers=120)
+    assert report["differential_ok"]
+    assert report["modes"]["cached-warm"]["speedup_vs_reference"] >= ACCEPTANCE_SPEEDUP
+    assert report["modes"]["parallel-4-warm"]["speedup_vs_reference"] >= ACCEPTANCE_SPEEDUP
+    out = tmp_path / "BENCH_sampling.json"
+    with open(out, "w") as handle:
+        json.dump(report, handle)
+    assert json.load(open(out))["acceptance"]["passed"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

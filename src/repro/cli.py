@@ -17,6 +17,17 @@
     python -m repro sql --dataset ecommerce "SELECT COUNT(*) FROM orders"
         Run a SQL SELECT against a generated dataset and print rows.
 
+Throughput flags (``fit`` / ``query``; see docs/performance.md):
+
+* ``--sampler {reference,vectorized,vectorized-unique}`` picks the
+  neighbor-sampler implementation.
+* ``--num-workers N`` shards minibatch subgraph sampling across N
+  worker processes so sampling overlaps training (deterministic:
+  results are bit-identical to the serial path for a fixed seed).
+* ``--cache-size BATCHES`` memoizes sampled subgraphs in an LRU keyed
+  on batch content, reused across epochs and at inference.
+* ``--prefetch-batches N`` bounds the in-flight sampling window.
+
 Observability flags (``fit`` / ``query``):
 
 * ``--profile`` prints an EXPLAIN ANALYZE-style stage tree — wall time
@@ -82,6 +93,22 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--layers", type=int, default=2)
         p.add_argument("--hidden", type=int, default=32)
         p.add_argument("--conv", choices=["sage", "gat"], default="sage")
+        p.add_argument(
+            "--sampler", choices=["reference", "vectorized", "vectorized-unique"],
+            default="reference", help="neighbor-sampler implementation",
+        )
+        p.add_argument(
+            "--num-workers", type=int, default=0, metavar="N",
+            help="sampling worker processes; 0 samples in-process",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=0, metavar="BATCHES",
+            help="subgraph LRU capacity in batches; 0 disables caching",
+        )
+        p.add_argument(
+            "--prefetch-batches", type=int, default=2, metavar="N",
+            help="batches kept in flight beyond one per worker",
+        )
         p.add_argument(
             "--profile", action="store_true",
             help="print an EXPLAIN ANALYZE-style stage tree after the run",
@@ -150,6 +177,10 @@ def _planner_config(args: argparse.Namespace) -> PlannerConfig:
         epochs=args.epochs,
         seed=args.seed,
         conv_type=args.conv,
+        sampler_impl=args.sampler,
+        num_workers=args.num_workers,
+        cache_size=args.cache_size,
+        prefetch_batches=args.prefetch_batches,
     )
 
 
@@ -269,9 +300,20 @@ def _publish_trainer_metrics(registry, trace) -> None:
         registry.gauge("train.mean_epoch_seconds").set(seconds / epochs)
     if seconds > 0:
         registry.gauge("train.examples_per_sec").set(totals.get("train.examples", 0.0) / seconds)
-    for name in ("sampler.nodes_sampled", "sampler.edges_sampled", "sampler.fanout_truncations"):
+    # (cache and plan-cache counters hit the registry directly at the
+    # point of use; only span-local counters are summarized here.)
+    for name in (
+        "sampler.nodes_sampled",
+        "sampler.edges_sampled",
+        "sampler.fanout_truncations",
+        "sampler.parallel.batches",
+    ):
         if name in totals:
             registry.counter(name).inc(totals[name])
+    hits = totals.get("sampler.cache.hits", 0.0)
+    misses = totals.get("sampler.cache.misses", 0.0)
+    if hits or misses:
+        registry.gauge("sampler.cache.hit_rate").set(hits / (hits + misses))
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:

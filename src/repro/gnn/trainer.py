@@ -29,9 +29,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.graph.parallel import ParallelSampleLoader
 
 from repro.gnn.models import HeteroGNN, TwoTowerModel
 from repro.graph.hetero import HeteroGraph
@@ -77,6 +80,11 @@ class TrainConfig:
     lr_backoff: float = 0.5
     #: Pre-clip gradient norms above this count as divergence.
     grad_norm_limit: float = 1e6
+    #: Sampling worker processes (0 = sample in-process).  Takes
+    #: effect through the loader the planner attaches to the trainer.
+    num_workers: int = 0
+    #: Batches kept in flight beyond one per worker.
+    prefetch_batches: int = 2
 
 
 @dataclass
@@ -128,6 +136,26 @@ def _record_epoch(
             "clip_events": int(clip_events),
         },
     )
+
+
+def _epoch_batches(
+    trainer, seed_type: str, ids: np.ndarray, times: np.ndarray, order: np.ndarray
+) -> Iterator[Tuple[np.ndarray, "SampledSubgraph"]]:
+    """Yield ``(batch_indices, subgraph)`` for one shuffled epoch.
+
+    With a loader attached, sampling runs on worker processes and
+    overlaps the training compute of earlier batches; otherwise each
+    batch samples in-process right before its forward pass.  Both
+    paths produce identical subgraphs whenever the sampler follows the
+    deterministic contract of :mod:`repro.graph.cache`.
+    """
+    batch_size = trainer.config.batch_size
+    batches = [order[start : start + batch_size] for start in range(0, len(order), batch_size)]
+    if trainer.loader is None:
+        for batch in batches:
+            yield batch, trainer.sampler.sample(seed_type, ids[batch], times[batch])
+    else:
+        yield from trainer.loader.iter_epoch(seed_type, ids, times, batches)
 
 
 class _Diverged(Exception):
@@ -383,6 +411,7 @@ class NodeTaskTrainer:
         task_type: str,
         config: Optional[TrainConfig] = None,
         pos_weight: Optional[float] = None,
+        loader: Optional["ParallelSampleLoader"] = None,
     ) -> None:
         if task_type not in _TASK_TYPES:
             raise ValueError(f"task_type must be one of {_TASK_TYPES}, got {task_type!r}")
@@ -393,6 +422,9 @@ class NodeTaskTrainer:
         self.config = config or TrainConfig()
         #: Weight on the positive-class BCE term (binary tasks only).
         self.pos_weight = pos_weight
+        #: Optional parallel/prefetching batch source for training
+        #: epochs; when None, batches sample in-process via ``sampler``.
+        self.loader = loader
         self.history = _History()
         self._rng = np.random.default_rng(self.config.seed)
         self._target_mean = 0.0
@@ -432,13 +464,13 @@ class NodeTaskTrainer:
             clip_events = 0
             order = self._rng.permutation(len(train_ids))
             epoch_losses = []
-            for start in range(0, len(order), self.config.batch_size):
+            for batch, subgraph in _epoch_batches(self, seed_type, train_ids, train_times, order):
                 if deadline is not None:
                     deadline.check("trainer.step")
                 fault_point("trainer.step")
-                batch = order[start : start + self.config.batch_size]
                 loss = self._batch_loss(
-                    seed_type, train_ids[batch], train_times[batch], train_labels[batch]
+                    seed_type, train_ids[batch], train_times[batch], train_labels[batch],
+                    subgraph=subgraph,
                 )
                 loss_value = corrupt_value("trainer.loss", float(loss.item()))
                 reason = loop.guard.check_loss(loss_value)
@@ -472,8 +504,9 @@ class NodeTaskTrainer:
             return (labels - self._target_mean) / self._target_std
         return labels
 
-    def _batch_loss(self, seed_type, ids, times, labels):
-        subgraph = self.sampler.sample(seed_type, ids, times)
+    def _batch_loss(self, seed_type, ids, times, labels, subgraph=None):
+        if subgraph is None:
+            subgraph = self.sampler.sample(seed_type, ids, times)
         outputs = self.model(subgraph, self.graph)
         if self.task_type == "binary":
             return binary_cross_entropy_with_logits(
@@ -542,12 +575,15 @@ class LinkTaskTrainer:
         sampler: NeighborSampler,
         config: Optional[TrainConfig] = None,
         num_negatives: int = 4,
+        loader: Optional["ParallelSampleLoader"] = None,
     ) -> None:
         self.model = model
         self.graph = graph
         self.sampler = sampler
         self.config = config or TrainConfig()
         self.num_negatives = num_negatives
+        #: Optional parallel/prefetching batch source (see NodeTaskTrainer).
+        self.loader = loader
         self.history = _History()
         self._rng = np.random.default_rng(self.config.seed)
         self._num_items = graph.num_nodes(model.item_type)
@@ -576,13 +612,13 @@ class LinkTaskTrainer:
             clip_events = 0
             order = self._rng.permutation(len(query_ids))
             losses = []
-            for start in range(0, len(order), self.config.batch_size):
+            for batch, subgraph in _epoch_batches(self, seed_type, query_ids, query_times, order):
                 if deadline is not None:
                     deadline.check("trainer.step")
                 fault_point("trainer.step")
-                batch = order[start : start + self.config.batch_size]
                 loss = self._batch_loss(
-                    seed_type, query_ids[batch], query_times[batch], pos_item_ids[batch]
+                    seed_type, query_ids[batch], query_times[batch], pos_item_ids[batch],
+                    subgraph=subgraph,
                 )
                 loss_value = corrupt_value("trainer.loss", float(loss.item()))
                 reason = loop.guard.check_loss(loss_value)
@@ -607,8 +643,9 @@ class LinkTaskTrainer:
         loop.run(run_epoch, run_val)
         return self.history
 
-    def _batch_loss(self, seed_type, query_ids, query_times, pos_items):
-        subgraph = self.sampler.sample(seed_type, query_ids, query_times)
+    def _batch_loss(self, seed_type, query_ids, query_times, pos_items, subgraph=None):
+        if subgraph is None:
+            subgraph = self.sampler.sample(seed_type, query_ids, query_times)
         queries = self.model.query_embeddings(subgraph, self.graph)
         pos_embed = self.model.item_embeddings(pos_items, self.graph)
         pos_scores = self.model.score_pairs(queries, pos_embed)

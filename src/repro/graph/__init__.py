@@ -9,7 +9,11 @@ and every time column a timestamp on nodes and edges.
 * :mod:`repro.graph.encoders` — column encoders turning table columns
   into model-ready numeric arrays and categorical codes;
 * :mod:`repro.graph.builder` — the DB→graph compiler;
-* :mod:`repro.graph.sampler` — time-respecting neighbor sampling.
+* :mod:`repro.graph.sampler` — time-respecting neighbor sampling;
+* :mod:`repro.graph.cache` — subgraph memoization plus the
+  deterministic (content-keyed RNG) sampling contract;
+* :mod:`repro.graph.parallel` — multi-process minibatch sampling with
+  bounded prefetch.
 """
 
 from repro.graph.hetero import EdgeType, HeteroGraph, TIME_MIN
@@ -18,6 +22,8 @@ from repro.graph.builder import build_graph
 from repro.graph.sampler import NeighborSampler, SampledSubgraph
 from repro.graph.fast_sampler import VectorizedNeighborSampler
 from repro.graph.snapshot import snapshot_subgraph
+from repro.graph.cache import CachedSampler, LRUSubgraphCache, graph_fingerprint
+from repro.graph.parallel import ParallelSampleLoader
 
 __all__ = [
     "EdgeType",
@@ -30,4 +36,8 @@ __all__ = [
     "VectorizedNeighborSampler",
     "SampledSubgraph",
     "snapshot_subgraph",
+    "CachedSampler",
+    "LRUSubgraphCache",
+    "graph_fingerprint",
+    "ParallelSampleLoader",
 ]

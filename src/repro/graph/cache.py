@@ -1,0 +1,290 @@
+"""Subgraph memoization and the deterministic sampling contract.
+
+The throughput layer (this module plus
+:mod:`repro.graph.parallel`) rests on one invariant:
+
+    **Sampling is a pure function of the batch.**  The subgraph for a
+    batch depends only on (graph fingerprint, sampler implementation,
+    fanouts, time-respecting flag, base seed, seed type, seed ids,
+    seed times) — never on how many batches were sampled before it,
+    which worker sampled it, or whether a cache served it.
+
+:class:`CachedSampler` enforces the invariant by re-seeding the
+wrapped sampler's generator from a content digest before every draw
+(:func:`batch_rng_seed`).  Because the draw is pure, a memoized
+subgraph is *bit-identical* to a re-sampled one, so the LRU cache and
+the parallel loader are semantically invisible: serial, cached, and
+multi-worker runs produce the same metrics for a fixed seed.  The
+differential test suite (``tests/test_differential_sampling.py``)
+locks this in.
+
+:class:`LRUSubgraphCache` memoizes :class:`~repro.graph.sampler.SampledSubgraph`
+values across epochs and across train/eval phases, keyed on the same
+digest.  Hit/miss/eviction counts are mirrored into the global
+:mod:`repro.obs.metrics` registry (``sampler.cache.*``) and, inside a
+trace window, onto the current span — so ``--profile`` reports show
+cache behavior per stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.graph.sampler import SampledSubgraph
+from repro.obs import get_registry
+from repro.obs import trace as obs_trace
+
+__all__ = [
+    "graph_fingerprint",
+    "batch_rng_seed",
+    "sampler_impl_name",
+    "LRUSubgraphCache",
+    "CachedSampler",
+]
+
+
+def graph_fingerprint(graph: HeteroGraph) -> str:
+    """A stable digest of the graph's structure and timestamps.
+
+    Two graphs built from the same database contents share a
+    fingerprint; any change to node counts, edges, or timestamps
+    changes it.  Computed once per graph instance and memoized, since
+    it hashes every edge array.
+    """
+    cached = getattr(graph, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    for node_type in sorted(graph.node_types):
+        digest.update(node_type.encode())
+        digest.update(np.int64(graph.num_nodes(node_type)).tobytes())
+        digest.update(np.ascontiguousarray(graph.node_times(node_type)).tobytes())
+    for edge_type in sorted(graph.edge_types, key=str):
+        store = graph._edges[edge_type]
+        digest.update(str(edge_type).encode())
+        digest.update(np.ascontiguousarray(store.nbr_src).tobytes())
+        digest.update(np.ascontiguousarray(store.nbr_time).tobytes())
+        digest.update(np.ascontiguousarray(store.indptr).tobytes())
+    fingerprint = digest.hexdigest()
+    graph._fingerprint = fingerprint
+    return fingerprint
+
+
+def sampler_impl_name(sampler) -> str:
+    """Canonical implementation tag for a sampler instance.
+
+    Part of the cache key: the reference and vectorized samplers draw
+    differently from the same generator, so their subgraphs must never
+    alias.  The vectorized sampler's ``unique`` mode is a third
+    distinct draw order.
+    """
+    name = type(sampler).__name__
+    if name == "NeighborSampler":
+        return "reference"
+    if name == "VectorizedNeighborSampler":
+        return "vectorized-unique" if getattr(sampler, "unique", False) else "vectorized"
+    return name
+
+
+def _batch_digest(
+    fingerprint: str,
+    impl: str,
+    fanouts,
+    time_respecting: bool,
+    base_seed: int,
+    seed_type: str,
+    seed_ids: np.ndarray,
+    seed_times: np.ndarray,
+) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(fingerprint.encode())
+    digest.update(impl.encode())
+    digest.update(np.asarray(list(fanouts), dtype=np.int64).tobytes())
+    digest.update(b"T" if time_respecting else b"F")
+    digest.update(np.int64(base_seed).tobytes())
+    digest.update(seed_type.encode())
+    digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(seed_ids, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(seed_times, dtype=np.int64).tobytes())
+    return digest.digest()
+
+
+def batch_rng_seed(
+    fingerprint: str,
+    impl: str,
+    fanouts,
+    time_respecting: bool,
+    base_seed: int,
+    seed_type: str,
+    seed_ids: np.ndarray,
+    seed_times: np.ndarray,
+) -> int:
+    """The per-batch generator seed under the deterministic contract.
+
+    Shared by :class:`CachedSampler` (serial path) and the parallel
+    workers, which is what makes their draws bit-identical.
+    """
+    digest = _batch_digest(
+        fingerprint, impl, fanouts, time_respecting, base_seed,
+        seed_type, seed_ids, seed_times,
+    )
+    return int.from_bytes(digest[:8], "little")
+
+
+class LRUSubgraphCache:
+    """Bounded LRU of sampled subgraphs keyed by batch digest.
+
+    Thread-safe: the parallel loader inserts from the main thread
+    while trainer code reads, and future work may share one cache
+    across loaders.  Counters are mirrored into the global metrics
+    registry under ``sampler.cache.{hits,misses,evictions}``.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[bytes, SampledSubgraph]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> Optional[SampledSubgraph]:
+        """The cached subgraph for ``key``, refreshed as most recent."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                counted = "sampler.cache.misses"
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                counted = "sampler.cache.hits"
+        get_registry().counter(counted).inc()
+        if obs_trace.enabled():
+            obs_trace.add_counter(counted)
+        return entry
+
+    def put(self, key: bytes, subgraph: SampledSubgraph) -> None:
+        """Insert (or refresh) one entry, evicting the least recent."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = subgraph
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            get_registry().counter("sampler.cache.evictions").inc(evicted)
+            if obs_trace.enabled():
+                obs_trace.add_counter("sampler.cache.evictions", evicted)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """``{hits, misses, evictions, entries, max_entries}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }
+
+
+class CachedSampler:
+    """Deterministic (and optionally memoizing) sampler wrapper.
+
+    Wraps a reference or vectorized sampler and re-seeds its generator
+    per batch from the content digest, making every draw a pure
+    function of the batch (see the module docstring).  With a
+    :class:`LRUSubgraphCache` attached, repeated batches — across
+    epochs, across train/eval, across ``predict`` calls — are served
+    from memory, bit-identically.
+
+    The wrapper mirrors the sampler surface the rest of the system
+    touches (``sample``, ``fanouts``, ``num_hops``, ``graph``,
+    ``time_respecting``, ``rng``), so it is a drop-in replacement.
+    """
+
+    def __init__(
+        self,
+        base,
+        base_seed: int = 0,
+        cache: Optional[LRUSubgraphCache] = None,
+    ) -> None:
+        self.base = base
+        self.base_seed = int(base_seed)
+        self.cache = cache
+        self._fingerprint = graph_fingerprint(base.graph)
+        self._impl = sampler_impl_name(base)
+
+    # -- sampler surface ------------------------------------------------
+    @property
+    def graph(self) -> HeteroGraph:
+        return self.base.graph
+
+    @property
+    def fanouts(self):
+        return self.base.fanouts
+
+    @property
+    def num_hops(self) -> int:
+        return self.base.num_hops
+
+    @property
+    def time_respecting(self) -> bool:
+        return self.base.time_respecting
+
+    @property
+    def rng(self) -> np.random.Generator:
+        # Exposed for checkpointing code that snapshots generator
+        # states; under the deterministic contract its position is
+        # irrelevant (every sample() call re-seeds it).
+        return self.base.rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self.base.rng = value
+
+    # -- keys -----------------------------------------------------------
+    def batch_key(self, seed_type: str, seed_ids: np.ndarray, seed_times: np.ndarray) -> bytes:
+        """The cache key / RNG-derivation digest for one batch."""
+        return _batch_digest(
+            self._fingerprint, self._impl, self.base.fanouts,
+            self.base.time_respecting, self.base_seed,
+            seed_type, seed_ids, seed_times,
+        )
+
+    # -- sampling -------------------------------------------------------
+    def sample(
+        self, seed_type: str, seed_ids: np.ndarray, seed_times: np.ndarray
+    ) -> SampledSubgraph:
+        """Sample (or recall) the subgraph for one batch."""
+        seed_ids = np.asarray(seed_ids, dtype=np.int64)
+        seed_times = np.asarray(seed_times, dtype=np.int64)
+        key = self.batch_key(seed_type, seed_ids, seed_times)
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        self.base.rng = np.random.default_rng(int.from_bytes(key[:8], "little"))
+        subgraph = self.base.sample(seed_type, seed_ids, seed_times)
+        if self.cache is not None:
+            self.cache.put(key, subgraph)
+        return subgraph

@@ -1,0 +1,226 @@
+"""Multi-process minibatch sampling with bounded prefetch.
+
+:class:`ParallelSampleLoader` shards the per-batch subgraph sampling
+of an epoch across worker processes so that sampling overlaps model
+compute: while the trainer runs forward/backward on batch *j*, the
+workers are already sampling batches *j+1 … j+window*.
+
+Determinism is inherited from the contract in
+:mod:`repro.graph.cache`: every batch's generator seed is derived
+from the batch *content* (:func:`~repro.graph.cache.batch_rng_seed`),
+so the subgraph a worker produces is bit-identical to the one the
+serial path would have produced — regardless of worker count,
+scheduling order, or prefetch depth.  Batches are yielded strictly in
+submission order.
+
+Workers are forked (POSIX) so the graph is shared by inheritance
+rather than pickled per task; each task ships only the seed arrays
+and an RNG seed.  Any failure to create or use the pool degrades the
+loader to in-process sampling with a logged warning and a
+``sampler.parallel.fallbacks`` counter — a slow epoch beats a dead
+run (the repo-wide resilience posture).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.cache import CachedSampler
+from repro.graph.hetero import HeteroGraph
+from repro.graph.sampler import NeighborSampler, SampledSubgraph
+from repro.obs import get_logger, get_registry
+from repro.obs import trace as obs_trace
+
+__all__ = ["ParallelSampleLoader"]
+
+_log = get_logger("graph.parallel")
+
+#: Per-worker state installed by the fork initializer.
+_WORKER: Dict[str, object] = {}
+
+
+def _build_sampler(graph: HeteroGraph, spec: Dict[str, object]):
+    """Instantiate the sampler implementation named by ``spec``."""
+    impl = spec["impl"]
+    kwargs = dict(
+        graph=graph,
+        fanouts=list(spec["fanouts"]),
+        rng=np.random.default_rng(0),  # re-seeded per task
+        time_respecting=bool(spec["time_respecting"]),
+    )
+    if impl == "reference":
+        return NeighborSampler(**kwargs)
+    if impl in ("vectorized", "vectorized-unique"):
+        from repro.graph.fast_sampler import VectorizedNeighborSampler
+
+        return VectorizedNeighborSampler(unique=(impl == "vectorized-unique"), **kwargs)
+    raise ValueError(f"unknown sampler impl {impl!r}")
+
+
+def _init_worker(graph: HeteroGraph, spec: Dict[str, object]) -> None:
+    _WORKER["sampler"] = _build_sampler(graph, spec)
+
+
+def _sample_task(
+    seed_type: str, seed_ids: np.ndarray, seed_times: np.ndarray, rng_seed: int
+) -> SampledSubgraph:
+    sampler = _WORKER["sampler"]
+    sampler.rng = np.random.default_rng(rng_seed)
+    return sampler.sample(seed_type, seed_ids, seed_times)
+
+
+class ParallelSampleLoader:
+    """Samples minibatch subgraphs on worker processes, in order.
+
+    Parameters
+    ----------
+    sampler:
+        A :class:`~repro.graph.cache.CachedSampler` (or any sampler,
+        which will be wrapped in one).  Its implementation, fanouts,
+        base seed, and cache define both the serial fallback path and
+        the worker configuration — one source of truth, so the two
+        paths cannot drift.
+    num_workers:
+        Worker processes; ``0`` means sample in-process (the loader
+        then only adds cache handling).
+    prefetch_batches:
+        Extra batches kept in flight beyond one per worker.  Bounds
+        both memory and speculative work lost to an abandoned epoch.
+    """
+
+    def __init__(
+        self,
+        sampler,
+        num_workers: int = 0,
+        prefetch_batches: int = 2,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        if prefetch_batches < 0:
+            raise ValueError(f"prefetch_batches must be >= 0, got {prefetch_batches}")
+        if not isinstance(sampler, CachedSampler):
+            sampler = CachedSampler(sampler)
+        self.sampler = sampler
+        self.num_workers = int(num_workers)
+        self.prefetch_batches = int(prefetch_batches)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._spec = {
+            "impl": sampler._impl,
+            "fanouts": list(sampler.fanouts),
+            "time_respecting": sampler.time_respecting,
+        }
+        if self.num_workers > 0:
+            self._executor = self._start_pool()
+
+    # -- pool lifecycle -------------------------------------------------
+    def _start_pool(self) -> Optional[ProcessPoolExecutor]:
+        try:
+            context = multiprocessing.get_context("fork")
+            executor = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self.sampler.graph, self._spec),
+            )
+        except (ValueError, OSError, RuntimeError) as err:
+            self._note_fallback(f"worker pool unavailable ({err}); sampling in-process")
+            return None
+        return executor
+
+    def _note_fallback(self, message: str) -> None:
+        get_registry().counter("sampler.parallel.fallbacks").inc()
+        if obs_trace.enabled():
+            obs_trace.add_counter("sampler.parallel.fallbacks")
+        _log.warning(message, extra={"num_workers": self.num_workers})
+
+    def close(self) -> None:
+        """Shut the worker pool down; the loader stays usable serially.
+
+        Waits for workers to exit: an abandoned fork pool tears down
+        its pipes at interpreter exit and spews ``Bad file descriptor``
+        tracebacks from the atexit hook.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelSampleLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- epoch iteration ------------------------------------------------
+    def iter_epoch(
+        self,
+        seed_type: str,
+        seed_ids: np.ndarray,
+        seed_times: np.ndarray,
+        batches: Sequence[np.ndarray],
+    ) -> Iterator[Tuple[np.ndarray, SampledSubgraph]]:
+        """Yield ``(batch_indices, subgraph)`` for every batch, in order.
+
+        ``batches`` are index arrays into ``seed_ids``/``seed_times``
+        (the trainer's shuffled batch slices).  Cache hits are served
+        without touching the pool; misses are dispatched up to the
+        prefetch window ahead of consumption and inserted into the
+        cache as their results arrive.
+        """
+        seed_ids = np.asarray(seed_ids, dtype=np.int64)
+        seed_times = np.asarray(seed_times, dtype=np.int64)
+        batches = list(batches)
+        cache = self.sampler.cache
+        window = max(self.num_workers, 1) + self.prefetch_batches
+        #: position -> ("hit", subgraph) | ("future", future, key, ids, times)
+        in_flight: Dict[int, Tuple] = {}
+        next_submit = 0
+
+        for position in range(len(batches)):
+            while next_submit < len(batches) and next_submit - position < window:
+                batch = batches[next_submit]
+                ids, times = seed_ids[batch], seed_times[batch]
+                key = self.sampler.batch_key(seed_type, ids, times)
+                hit = cache.get(key) if cache is not None else None
+                if hit is not None:
+                    in_flight[next_submit] = ("hit", hit)
+                elif self._executor is not None:
+                    rng_seed = int.from_bytes(key[:8], "little")
+                    future = self._executor.submit(
+                        _sample_task, seed_type, ids, times, rng_seed
+                    )
+                    in_flight[next_submit] = ("future", future, key, ids, times)
+                else:
+                    # Serial path: CachedSampler re-derives the same key.
+                    in_flight[next_submit] = ("hit", self.sampler.sample(seed_type, ids, times))
+                next_submit += 1
+
+            entry = in_flight.pop(position)
+            if entry[0] == "hit":
+                subgraph = entry[1]
+            else:
+                _, future, key, ids, times = entry
+                try:
+                    subgraph = future.result()
+                except Exception as err:  # noqa: BLE001 - degrade, don't die
+                    self._note_fallback(
+                        f"worker batch failed ({type(err).__name__}: {err}); "
+                        "resampling in-process and retiring the pool"
+                    )
+                    self.close()
+                    subgraph = self.sampler.sample(seed_type, ids, times)
+                else:
+                    if cache is not None:
+                        cache.put(key, subgraph)
+                if obs_trace.enabled():
+                    obs_trace.add_counter("sampler.parallel.batches")
+            yield batches[position], subgraph
+
+    def sample(
+        self, seed_type: str, seed_ids: np.ndarray, seed_times: np.ndarray
+    ) -> SampledSubgraph:
+        """One-off in-process sample through the shared cache."""
+        return self.sampler.sample(seed_type, seed_ids, seed_times)

@@ -56,8 +56,10 @@ from repro.eval.splits import TemporalSplit
 from repro.gnn.models import GraphMetadata, HeteroGNN, TwoTowerModel
 from repro.gnn.trainer import LinkTaskTrainer, NodeTaskTrainer, TrainConfig
 from repro.graph.builder import build_graph, node_index_for_keys
+from repro.graph.cache import CachedSampler, LRUSubgraphCache
 from repro.graph.hetero import HeteroGraph
 from repro.graph.fast_sampler import VectorizedNeighborSampler
+from repro.graph.parallel import ParallelSampleLoader
 from repro.graph.sampler import NeighborSampler
 from repro.pql.ast import PredictiveQuery, TaskType
 from repro.pql.labeler import LabelTable, build_label_table
@@ -134,25 +136,48 @@ class PlannerConfig:
     #: tasks with skewed labels); improves recall at some AUROC cost.
     auto_pos_weight: bool = False
     #: Neighbor-sampler implementation: "reference" (exact
-    #: without-replacement semantics) or "vectorized" (~5x faster,
-    #: with-replacement draws on high-degree nodes).
+    #: without-replacement semantics), "vectorized" (~5x faster,
+    #: with-replacement draws on high-degree nodes), or
+    #: "vectorized-unique" (vectorized kernels, exact without-
+    #: replacement fanouts; costs scale with node degree).
     sampler_impl: str = "reference"
+    #: Subgraph LRU capacity in batches; 0 disables memoization.
+    #: Sampling is deterministic per batch either way (see
+    #: :mod:`repro.graph.cache`), so the cache never changes results —
+    #: only how often identical batches are re-sampled.
+    cache_size: int = 0
+    #: Sampling worker processes for training epochs (0 = in-process).
+    num_workers: int = 0
+    #: Batches kept in flight beyond one per worker.
+    prefetch_batches: int = 2
 
-    def make_sampler(self, graph, rng) -> "NeighborSampler":
-        """Instantiate the configured sampler implementation."""
-        if self.sampler_impl == "vectorized":
-            return VectorizedNeighborSampler(
+    def make_sampler(self, graph, rng) -> "CachedSampler":
+        """Instantiate the configured sampler implementation.
+
+        The base sampler is wrapped in a
+        :class:`~repro.graph.cache.CachedSampler`, which re-seeds it
+        per batch from the batch content (making every draw a pure
+        function of the batch) and, with ``cache_size > 0``, memoizes
+        subgraphs across epochs and inference calls.
+        """
+        if self.sampler_impl in ("vectorized", "vectorized-unique"):
+            base = VectorizedNeighborSampler(
+                graph, fanouts=self.resolved_fanouts(), rng=rng,
+                time_respecting=self.time_respecting,
+                unique=self.sampler_impl == "vectorized-unique",
+            )
+        elif self.sampler_impl == "reference":
+            base = NeighborSampler(
                 graph, fanouts=self.resolved_fanouts(), rng=rng,
                 time_respecting=self.time_respecting,
             )
-        if self.sampler_impl != "reference":
+        else:
             raise ValueError(
-                f"sampler_impl must be 'reference' or 'vectorized', got {self.sampler_impl!r}"
+                "sampler_impl must be 'reference', 'vectorized', or "
+                f"'vectorized-unique', got {self.sampler_impl!r}"
             )
-        return NeighborSampler(
-            graph, fanouts=self.resolved_fanouts(), rng=rng,
-            time_respecting=self.time_respecting,
-        )
+        cache = LRUSubgraphCache(self.cache_size) if self.cache_size > 0 else None
+        return CachedSampler(base, base_seed=self.seed, cache=cache)
 
     def resolved_fanouts(self) -> List[int]:
         """Fanouts, defaulting to 8 per message-passing hop."""
@@ -170,6 +195,8 @@ class PlannerConfig:
             patience=self.patience,
             clip_norm=self.clip_norm,
             seed=self.seed,
+            num_workers=self.num_workers,
+            prefetch_batches=self.prefetch_batches,
         )
 
 
@@ -186,11 +213,32 @@ class PredictiveQueryPlanner:
         self.config = config or PlannerConfig()
         #: Fault-tolerance policy; None = no retries/budgets/fallback.
         self.resilience = resilience
+        #: Memoized parse+validate results keyed by query text.  Safe
+        #: because bindings depend only on the schema, which a planner
+        #: holds fixed; serving repeated queries (the production use)
+        #: skips re-parsing entirely.
+        self._plan_cache: Dict[str, QueryBinding] = {}
 
     def plan(self, query: Union[str, PredictiveQuery]) -> QueryBinding:
-        """Parse (if needed) and validate a query against the schema."""
+        """Parse (if needed) and validate a query against the schema.
+
+        Results are cached per query text; hit/miss counts are
+        exported as ``planner.plan_cache.{hits,misses}``.
+        """
+        text = query if isinstance(query, str) else str(query)
+        cached = self._plan_cache.get(text)
+        if cached is not None:
+            get_registry().counter("planner.plan_cache.hits").inc()
+            if obs_trace.enabled():
+                obs_trace.add_counter("planner.plan_cache.hits")
+            return cached
+        get_registry().counter("planner.plan_cache.misses").inc()
+        if obs_trace.enabled():
+            obs_trace.add_counter("planner.plan_cache.misses")
         parsed = parse(query) if isinstance(query, str) else query
-        return validate(parsed, self.db)
+        binding = validate(parsed, self.db)
+        self._plan_cache[text] = binding
+        return binding
 
     def _run_stage(self, name: str, fn):
         """Run one compile stage under the configured retry/budget policy."""
@@ -263,20 +311,33 @@ class PredictiveQueryPlanner:
                 sampler = self.config.make_sampler(
                     graph, np.random.default_rng(self.config.seed + 1)
                 )
+                loader = None
+                if self.config.num_workers > 0:
+                    loader = ParallelSampleLoader(
+                        sampler,
+                        num_workers=self.config.num_workers,
+                        prefetch_batches=self.config.prefetch_batches,
+                    )
                 resume = bool(
                     self.resilience
                     and (self.resilience.resume
                          or (attempt > 0 and self.resilience.checkpoint_dir))
                 )
-                if binding.task_type == TaskType.LINK:
-                    return self._fit_link(
+                try:
+                    if binding.task_type == TaskType.LINK:
+                        return self._fit_link(
+                            binding, split, graph, metadata, sampler, rng,
+                            train_labels, val_labels, deadline=deadline, resume=resume,
+                            loader=loader,
+                        )
+                    return self._fit_node(
                         binding, split, graph, metadata, sampler, rng,
                         train_labels, val_labels, deadline=deadline, resume=resume,
+                        loader=loader,
                     )
-                return self._fit_node(
-                    binding, split, graph, metadata, sampler, rng,
-                    train_labels, val_labels, deadline=deadline, resume=resume,
-                )
+                finally:
+                    if loader is not None:
+                        loader.close()
 
             with obs_trace.span("planner.train"):
                 try:
@@ -339,7 +400,7 @@ class PredictiveQueryPlanner:
     # Node tasks (binary / regression)
     # ------------------------------------------------------------------
     def _fit_node(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels,
-                  deadline=None, resume=False):
+                  deadline=None, resume=False, loader=None):
         entity_type = binding.query.entity_table
         model = HeteroGNN(
             metadata,
@@ -363,6 +424,7 @@ class PredictiveQueryPlanner:
             model, graph, sampler, task,
             config=self._train_config(resume),
             pos_weight=pos_weight,
+            loader=loader,
         )
         train_ids = node_index_for_keys(graph, entity_type, train_labels.entity_keys)
         kwargs = {}
@@ -386,7 +448,7 @@ class PredictiveQueryPlanner:
     # Link tasks
     # ------------------------------------------------------------------
     def _fit_link(self, binding, split, graph, metadata, sampler, rng, train_labels, val_labels,
-                  deadline=None, resume=False):
+                  deadline=None, resume=False, loader=None):
         entity_type = binding.query.entity_table
         item_type = binding.item_table
         model = TwoTowerModel(
@@ -404,6 +466,7 @@ class PredictiveQueryPlanner:
             sampler,
             config=self._train_config(resume),
             num_negatives=self.config.num_negatives,
+            loader=loader,
         )
         q_ids, q_times, pos_items = self._explode_pairs(graph, entity_type, item_type, train_labels)
         if len(q_ids) == 0:
@@ -491,11 +554,40 @@ class TrainedPredictiveModel:
         """The compiled task type."""
         return self.binding.task_type
 
+    def sampler_cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss/eviction stats of the subgraph cache, or None.
+
+        None when the model is degraded (no sampler) or the planner
+        was configured with ``cache_size=0``.
+        """
+        trainer = self.node_trainer or self.link_trainer
+        if trainer is None:
+            return None
+        cache = getattr(trainer.sampler, "cache", None)
+        return cache.stats() if cache is not None else None
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
-    def predict(self, entity_keys: np.ndarray, cutoff: int) -> np.ndarray:
+    @staticmethod
+    def _resolve_cutoffs(cutoff, count: int) -> np.ndarray:
+        """Broadcast a scalar cutoff (or pass through a vector) to ``count``."""
+        cutoffs = np.asarray(cutoff, dtype=np.int64)
+        if cutoffs.ndim == 0:
+            return np.full(count, int(cutoffs), dtype=np.int64)
+        if cutoffs.shape != (count,):
+            raise ValueError(
+                f"cutoff must be a scalar or have shape ({count},), got {cutoffs.shape}"
+            )
+        return cutoffs
+
+    def predict(self, entity_keys: np.ndarray, cutoff) -> np.ndarray:
         """Predictions for given entities as of ``cutoff``.
+
+        ``cutoff`` may be one timestamp for the whole batch or an
+        array with one prediction time per entity — one call then
+        serves mixed-horizon requests, batched through the sampler
+        (and its subgraph cache, when the planner configured one).
 
         Binary → P(positive); regression → value on the label scale.
         For link tasks use :meth:`rank_items`.
@@ -503,15 +595,14 @@ class TrainedPredictiveModel:
         if self.task_type == TaskType.LINK:
             raise RuntimeError("predict() is for node tasks; use rank_items() for LIST queries")
         entity_keys = np.asarray(entity_keys)
+        cutoffs = self._resolve_cutoffs(cutoff, len(entity_keys))
         if self.node_trainer is None:
             if self.baseline is None:
                 raise RuntimeError("model has neither a trained GNN nor a fallback baseline")
-            cutoffs = np.full(len(entity_keys), int(cutoff), dtype=np.int64)
             return self.baseline.predict(self.db, entity_keys, cutoffs)
         entity_type = self.binding.query.entity_table
         ids = node_index_for_keys(self.graph, entity_type, entity_keys)
-        times = np.full(len(ids), int(cutoff), dtype=np.int64)
-        return self.node_trainer.predict(entity_type, ids, times)
+        return self.node_trainer.predict(entity_type, ids, cutoffs)
 
     def _item_scorer(self):
         scorer = self.link_trainer or self.baseline
@@ -519,14 +610,18 @@ class TrainedPredictiveModel:
             raise RuntimeError("model has neither a trained ranker nor a fallback baseline")
         return scorer
 
-    def rank_items(self, entity_keys: np.ndarray, cutoff: int, k: int = 10):
-        """Top-``k`` item keys and scores per entity (link tasks only)."""
+    def rank_items(self, entity_keys: np.ndarray, cutoff, k: int = 10):
+        """Top-``k`` item keys and scores per entity (link tasks only).
+
+        ``cutoff`` may be a scalar or a per-entity array, as in
+        :meth:`predict`.
+        """
         if self.task_type != TaskType.LINK:
             raise RuntimeError("rank_items() is only available for LIST queries")
         entity_type = self.binding.query.entity_table
         item_type = self.binding.item_table
         q_ids = node_index_for_keys(self.graph, entity_type, np.asarray(entity_keys))
-        times = np.full(len(q_ids), int(cutoff), dtype=np.int64)
+        times = self._resolve_cutoffs(cutoff, len(q_ids))
         item_ids = np.arange(self.graph.num_nodes(item_type))
         scores = self._item_scorer().score_against_items(entity_type, q_ids, times, item_ids)
         item_keys = self.graph.node_keys[item_type]

@@ -1,0 +1,184 @@
+"""Shared deterministic fixtures for the test suite.
+
+Everything here is a pure function of an explicit integer seed, so the
+expensive objects (synthetic databases, temporal splits, compiled
+graphs) can be built once per session and shared across modules
+without coupling any test to another test's random stream.
+
+Two kinds of helpers:
+
+* **Plain factories** (``shop_db``, ``planner_config``,
+  ``tiny_planner_config``, ``make_split``) — importable from test
+  modules that need a fresh or customized instance.
+* **Session fixtures** (``ecommerce_db``, ``small_ecommerce_db``,
+  ``forum_db`` and their splits, ``shop_graph``) — cached instances
+  for read-only use.  Tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_ecommerce, make_forum
+from repro.eval import make_temporal_split
+from repro.pql import PlannerConfig
+from repro.relational import (
+    ColumnSpec,
+    Database,
+    DType,
+    ForeignKey,
+    Table,
+    TableSchema,
+)
+
+DAY = 86400
+
+
+# ----------------------------------------------------------------------
+# Factories (import these when a test needs its own instance)
+# ----------------------------------------------------------------------
+def shop_db() -> Database:
+    """Two customers, three products, five timestamped orders."""
+    customers = Table.from_dict(
+        TableSchema(
+            "customers",
+            [
+                ColumnSpec("id", DType.INT64),
+                ColumnSpec("region", DType.STRING),
+                ColumnSpec("age", DType.FLOAT64),
+            ],
+            primary_key="id",
+        ),
+        {"id": [10, 20], "region": ["eu", "us"], "age": [33.0, None]},
+    )
+    products = Table.from_dict(
+        TableSchema(
+            "products",
+            [ColumnSpec("id", DType.INT64), ColumnSpec("price", DType.FLOAT64)],
+            primary_key="id",
+        ),
+        {"id": [1, 2, 3], "price": [9.0, 19.0, 29.0]},
+    )
+    orders = Table.from_dict(
+        TableSchema(
+            "orders",
+            [
+                ColumnSpec("id", DType.INT64),
+                ColumnSpec("customer_id", DType.INT64),
+                ColumnSpec("product_id", DType.INT64),
+                ColumnSpec("amount", DType.FLOAT64),
+                ColumnSpec("ts", DType.TIMESTAMP),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("customer_id", "customers", "id"),
+                ForeignKey("product_id", "products", "id"),
+            ],
+            time_column="ts",
+        ),
+        {
+            "id": [100, 101, 102, 103, 104],
+            "customer_id": [10, 10, 20, 20, 10],
+            "product_id": [1, 2, 2, 3, 3],
+            "amount": [5.0, 7.0, 2.0, 9.0, 4.0],
+            "ts": [100, 200, 300, 400, 500],
+        },
+    )
+    db = Database("shop")
+    db.add_table(customers)
+    db.add_table(products)
+    db.add_table(orders)
+    db.validate()
+    return db
+
+
+def assert_subgraphs_identical(a, b) -> None:
+    """Assert two SampledSubgraphs are bit-identical, field by field."""
+    assert a.seed_type == b.seed_type
+    np.testing.assert_array_equal(a.seed_locals, b.seed_locals)
+    assert sorted(a.node_types) == sorted(b.node_types)
+    for node_type in a.node_types:
+        np.testing.assert_array_equal(a.node_orig(node_type), b.node_orig(node_type))
+        np.testing.assert_array_equal(a.node_ctx_time(node_type), b.node_ctx_time(node_type))
+        np.testing.assert_array_equal(a.node_degrees(node_type), b.node_degrees(node_type))
+    assert sorted(map(str, a.edge_types)) == sorted(map(str, b.edge_types))
+    for edge_type in a.edge_types:
+        src_a, dst_a = a.edges_for(edge_type)
+        src_b, dst_b = b.edges_for(edge_type)
+        np.testing.assert_array_equal(src_a, src_b)
+        np.testing.assert_array_equal(dst_a, dst_b)
+
+
+def make_split(db: Database, horizon_days: int, num_train_cutoffs: int = 2):
+    """Standard temporal split over a database's full time span."""
+    span = db.time_span()
+    return make_temporal_split(
+        span[0], span[1],
+        horizon_seconds=horizon_days * DAY,
+        num_train_cutoffs=num_train_cutoffs,
+    )
+
+
+def planner_config(**overrides) -> PlannerConfig:
+    """Small-but-still-learns config for integration tests."""
+    defaults = dict(hidden_dim=16, num_layers=1, epochs=6, patience=3, batch_size=128, seed=0)
+    defaults.update(overrides)
+    return PlannerConfig(**defaults)
+
+
+def tiny_planner_config(**overrides) -> PlannerConfig:
+    """Fastest config that still trains (resilience/differential tests)."""
+    defaults = dict(hidden_dim=8, num_layers=1, epochs=4, patience=4, batch_size=64, seed=0)
+    defaults.update(overrides)
+    return PlannerConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Session-scoped shared instances (read-only)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def ecommerce_db():
+    return make_ecommerce(num_customers=120, num_products=40, seed=0)
+
+
+@pytest.fixture(scope="session")
+def ecommerce_split(ecommerce_db):
+    return make_split(ecommerce_db, horizon_days=30)
+
+
+@pytest.fixture(scope="session")
+def small_ecommerce_db():
+    return make_ecommerce(num_customers=80, num_products=25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_ecommerce_split(small_ecommerce_db):
+    return make_split(small_ecommerce_db, horizon_days=30)
+
+
+@pytest.fixture(scope="session")
+def forum_db():
+    return make_forum(num_users=60, seed=0)
+
+
+@pytest.fixture(scope="session")
+def forum_split(forum_db):
+    return make_split(forum_db, horizon_days=14)
+
+
+@pytest.fixture(scope="session")
+def shop_graph():
+    from repro.graph import build_graph
+
+    return build_graph(shop_db())
+
+
+@pytest.fixture()
+def seeded_rng():
+    """Factory fixture: ``seeded_rng(seed)`` -> fresh Generator."""
+
+    def factory(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return factory

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.graph import NeighborSampler, build_graph
 from repro.graph.fast_sampler import VectorizedNeighborSampler
-from tests.test_graph import shop_db
+from tests.conftest import shop_db
 
 
 def graph():
@@ -108,17 +108,72 @@ class TestVectorizedSampler:
         out.sum().backward()
 
 
+class TestUniqueMode:
+    """unique=True: without-replacement draws on high-degree nodes."""
+
+    def test_exact_fanout_distinct_neighbors(self):
+        g = graph()
+        # Customer 0 has 3 orders; fanout 2 < 3 puts it on the
+        # high-degree path, which must pick exactly 2 distinct orders.
+        fast = VectorizedNeighborSampler(
+            g, fanouts=[2], rng=np.random.default_rng(0), unique=True
+        )
+        for trial in range(20):
+            sub = fast.sample("customers", np.array([0]), np.array([10**9]))
+            orders = sub.node_orig("orders").tolist()
+            assert len(orders) == 2
+            assert len(set(orders)) == 2
+
+    def test_covers_all_neighbors_across_draws(self):
+        g = graph()
+        fast = VectorizedNeighborSampler(
+            g, fanouts=[2], rng=np.random.default_rng(0), unique=True
+        )
+        seen = set()
+        for trial in range(40):
+            sub = fast.sample("customers", np.array([0]), np.array([10**9]))
+            seen.update(sub.node_orig("orders").tolist())
+        # Customer 0's three orders are rows 0, 1, 4 of the orders table.
+        assert seen == {0, 1, 4}
+
+    def test_low_degree_path_unchanged(self):
+        g = graph()
+        fast = VectorizedNeighborSampler(
+            g, fanouts=[10], rng=np.random.default_rng(0), unique=True
+        )
+        sub = fast.sample("customers", np.array([0]), np.array([10**9]))
+        ref = NeighborSampler(g, fanouts=[10], rng=np.random.default_rng(0))
+        ref_sub = ref.sample("customers", np.array([0]), np.array([10**9]))
+        assert sorted(sub.node_orig("orders").tolist()) == sorted(
+            ref_sub.node_orig("orders").tolist()
+        )
+
+    def test_mixed_degree_frontier(self):
+        g = graph()
+        # Fanout 2: customer 0 (3 orders) goes without-replacement,
+        # customer 1 (2 orders) takes the exact low-degree path.
+        fast = VectorizedNeighborSampler(
+            g, fanouts=[2, 2], rng=np.random.default_rng(3), unique=True
+        )
+        sub = fast.sample("customers", np.array([0, 1]), np.array([10**9, 10**9]))
+        for et in sub.edge_types:
+            src, dst = sub.edges_for(et)
+            assert (src < sub.num_nodes(et.src)).all()
+            assert (dst < sub.num_nodes(et.dst)).all()
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     seed_time=st.integers(0, 600),
     fanout=st.integers(1, 8),
     hops=st.integers(1, 3),
     rng_seed=st.integers(0, 100),
+    unique=st.booleans(),
 )
-def test_property_fast_sampler_never_sees_future(seed_time, fanout, hops, rng_seed):
+def test_property_fast_sampler_never_sees_future(seed_time, fanout, hops, rng_seed, unique):
     g = build_graph(shop_db())
     fast = VectorizedNeighborSampler(
-        g, fanouts=[fanout] * hops, rng=np.random.default_rng(rng_seed)
+        g, fanouts=[fanout] * hops, rng=np.random.default_rng(rng_seed), unique=unique
     )
     sub = fast.sample("customers", np.array([0, 1]), np.array([seed_time, seed_time]))
     for node_type in sub.node_types:

@@ -13,6 +13,7 @@ from repro.graph import (
     encode_table_features,
 )
 from repro.graph.builder import node_index_for_keys
+from tests.conftest import shop_db
 from repro.relational import (
     ColumnSpec,
     Database,
@@ -21,61 +22,6 @@ from repro.relational import (
     Table,
     TableSchema,
 )
-
-
-def shop_db():
-    """Two customers, three products, five timestamped orders."""
-    customers = Table.from_dict(
-        TableSchema(
-            "customers",
-            [
-                ColumnSpec("id", DType.INT64),
-                ColumnSpec("region", DType.STRING),
-                ColumnSpec("age", DType.FLOAT64),
-            ],
-            primary_key="id",
-        ),
-        {"id": [10, 20], "region": ["eu", "us"], "age": [33.0, None]},
-    )
-    products = Table.from_dict(
-        TableSchema(
-            "products",
-            [ColumnSpec("id", DType.INT64), ColumnSpec("price", DType.FLOAT64)],
-            primary_key="id",
-        ),
-        {"id": [1, 2, 3], "price": [9.0, 19.0, 29.0]},
-    )
-    orders = Table.from_dict(
-        TableSchema(
-            "orders",
-            [
-                ColumnSpec("id", DType.INT64),
-                ColumnSpec("customer_id", DType.INT64),
-                ColumnSpec("product_id", DType.INT64),
-                ColumnSpec("amount", DType.FLOAT64),
-                ColumnSpec("ts", DType.TIMESTAMP),
-            ],
-            primary_key="id",
-            foreign_keys=[
-                ForeignKey("customer_id", "customers", "id"),
-                ForeignKey("product_id", "products", "id"),
-            ],
-            time_column="ts",
-        ),
-        {
-            "id": [100, 101, 102, 103, 104],
-            "customer_id": [10, 10, 20, 20, 10],
-            "product_id": [1, 2, 2, 3, 3],
-            "amount": [5.0, 7.0, 2.0, 9.0, 4.0],
-            "ts": [100, 200, 300, 400, 500],
-        },
-    )
-    db = Database("shop")
-    db.add_table(customers)
-    db.add_table(products)
-    db.add_table(orders)
-    db.validate()
-    return db
 
 
 class TestEdgeType:

@@ -3,28 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.datasets import make_ecommerce
-from repro.eval import make_temporal_split
 from repro.pql import PlannerConfig, PredictiveQueryPlanner, TaskType, parse
-
-DAY = 86400
-
-
-@pytest.fixture(scope="module")
-def db():
-    return make_ecommerce(num_customers=120, num_products=40, seed=0)
+from tests.conftest import DAY, planner_config as fast_config
 
 
 @pytest.fixture(scope="module")
-def split(db):
-    span = db.time_span()
-    return make_temporal_split(span[0], span[1], horizon_seconds=30 * DAY, num_train_cutoffs=2)
+def db(ecommerce_db):
+    return ecommerce_db
 
 
-def fast_config(**overrides):
-    defaults = dict(hidden_dim=16, num_layers=1, epochs=6, patience=3, batch_size=128, seed=0)
-    defaults.update(overrides)
-    return PlannerConfig(**defaults)
+@pytest.fixture(scope="module")
+def split(ecommerce_split):
+    return ecommerce_split
 
 
 class TestPlan:
@@ -293,20 +283,14 @@ class TestVectorizedSamplerConfig:
 
 
 class TestViaPipeline:
-    def test_via_task_trains_end_to_end(self):
+    def test_via_task_trains_end_to_end(self, forum_db, forum_split):
         """The registered two-hop (VIA) forum task runs through the planner."""
-        from repro.datasets import make_forum
-        from repro.eval import make_temporal_split
-
-        db = make_forum(num_users=60, seed=0)
-        span = db.time_span()
-        split = make_temporal_split(span[0], span[1], 14 * DAY, num_train_cutoffs=2)
-        planner = PredictiveQueryPlanner(db, fast_config(epochs=2))
+        planner = PredictiveQueryPlanner(forum_db, fast_config(epochs=2))
         model = planner.fit(
             "PREDICT COUNT(votes VIA posts) FOR EACH users.id ASSUMING HORIZON 14 DAYS",
-            split,
+            forum_split,
         )
-        metrics = model.evaluate(split.test_cutoff)
+        metrics = model.evaluate(forum_split.test_cutoff)
         assert np.isfinite(metrics["mae"])
         assert metrics["num_examples"] > 0
 

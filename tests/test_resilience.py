@@ -14,10 +14,8 @@ import os
 import numpy as np
 import pytest
 
-from repro.datasets import make_ecommerce
-from repro.eval import make_temporal_split
 from repro.eval.metrics import auroc, average_precision, brier_score, expected_calibration_error
-from repro.pql import PlannerConfig, PredictiveQueryPlanner
+from repro.pql import PredictiveQueryPlanner
 from repro.pql.planner import TrainedPredictiveModel
 from repro.resilience import (
     CheckpointManager,
@@ -40,8 +38,8 @@ from repro.resilience import (
     run_stage,
     uninstall,
 )
+from tests.conftest import tiny_planner_config as fast_config
 
-DAY = 86400
 BINARY_QUERY = "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
 
 
@@ -59,20 +57,13 @@ def propagating_logs(monkeypatch):
 
 
 @pytest.fixture(scope="module")
-def db():
-    return make_ecommerce(num_customers=80, num_products=25, seed=0)
+def db(small_ecommerce_db):
+    return small_ecommerce_db
 
 
 @pytest.fixture(scope="module")
-def split(db):
-    span = db.time_span()
-    return make_temporal_split(span[0], span[1], horizon_seconds=30 * DAY, num_train_cutoffs=2)
-
-
-def fast_config(**overrides):
-    defaults = dict(hidden_dim=8, num_layers=1, epochs=4, patience=4, batch_size=64, seed=0)
-    defaults.update(overrides)
-    return PlannerConfig(**defaults)
+def split(small_ecommerce_split):
+    return small_ecommerce_split
 
 
 # ----------------------------------------------------------------------
@@ -390,6 +381,40 @@ class TestKillAndResume:
             baseline.predict(keys, split.test_cutoff),
             resumed.predict(keys, split.test_cutoff),
         )
+
+    def test_resume_with_warm_cache_matches_uninterrupted_run(self, db, split, tmp_path):
+        """Kill mid-training with the subgraph cache on; the resumed run
+        (which replays cached batches as cache *hits*) must still produce
+        a bit-identical history — the cache's content-keyed RNG contract
+        means hit and miss paths yield the same subgraph."""
+        config = fast_config(cache_size=256)
+        baseline = PredictiveQueryPlanner(db, config).fit(BINARY_QUERY, split)
+        base_hist = baseline.node_trainer.history
+
+        ckpt_dir = str(tmp_path / "ckpt")
+        with injected("trainer.epoch@2:kill"):
+            with pytest.raises(SimulatedCrash):
+                PredictiveQueryPlanner(
+                    db, config, resilience=ResilienceConfig(checkpoint_dir=ckpt_dir)
+                ).fit(BINARY_QUERY, split)
+
+        resumed = PredictiveQueryPlanner(
+            db, config,
+            resilience=ResilienceConfig(checkpoint_dir=ckpt_dir, resume=True),
+        ).fit(BINARY_QUERY, split)
+        res_hist = resumed.node_trainer.history
+
+        assert res_hist.resumed_from_epoch == 2
+        assert res_hist.train_loss == base_hist.train_loss
+        assert res_hist.val_loss == base_hist.val_loss
+        keys = db["customers"]["id"].values[:20]
+        np.testing.assert_array_equal(
+            baseline.predict(keys, split.test_cutoff),
+            resumed.predict(keys, split.test_cutoff),
+        )
+        # The resumed run actually exercised the warm-cache path.
+        stats = resumed.sampler_cache_stats()
+        assert stats is not None and stats["hits"] > 0
 
     def test_transient_fault_retry_resumes_from_checkpoint(self, db, split, tmp_path):
         # A retryable fault mid-training: the train stage's second attempt
