@@ -110,6 +110,16 @@ def _build_parser() -> argparse.ArgumentParser:
             help="batches kept in flight beyond one per worker",
         )
         p.add_argument(
+            "--infer-batch-size", type=int, default=None, metavar="N",
+            help="micro-batch size for no-grad eval/predict; defaults to "
+                 "the training batch size",
+        )
+        p.add_argument(
+            "--compute-dtype", choices=["float32", "float64"], default="float64",
+            help="model compute precision; float32 is the fast path, "
+                 "float64 the bit-exact reference",
+        )
+        p.add_argument(
             "--profile", action="store_true",
             help="print an EXPLAIN ANALYZE-style stage tree after the run",
         )
@@ -181,6 +191,8 @@ def _planner_config(args: argparse.Namespace) -> PlannerConfig:
         num_workers=args.num_workers,
         cache_size=args.cache_size,
         prefetch_batches=args.prefetch_batches,
+        infer_batch_size=args.infer_batch_size,
+        compute_dtype=args.compute_dtype,
     )
 
 

@@ -53,6 +53,8 @@ class HeteroSAGEConv(Module):
     activation:
         Apply ReLU to the output (disable on the last layer if raw
         embeddings are wanted).
+    dtype:
+        Compute dtype for the layer parameters (default float64).
     """
 
     def __init__(
@@ -64,6 +66,7 @@ class HeteroSAGEConv(Module):
         aggregation: str = "mean",
         shared_weights: bool = False,
         activation: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         if aggregation not in _AGGREGATORS:
@@ -74,13 +77,15 @@ class HeteroSAGEConv(Module):
         self.node_types = list(node_types)
         self.edge_types = list(edge_types)
         self.self_linears: Dict[str, Linear] = {
-            node_type: Linear(dim, dim, rng) for node_type in node_types
+            node_type: Linear(dim, dim, rng, dtype=dtype) for node_type in node_types
         }
         if shared_weights:
-            shared = Linear(dim, dim, rng, bias=False)
+            shared = Linear(dim, dim, rng, bias=False, dtype=dtype)
             self.rel_linears: Dict[str, Linear] = {str(et): shared for et in edge_types}
         else:
-            self.rel_linears = {str(et): Linear(dim, dim, rng, bias=False) for et in edge_types}
+            self.rel_linears = {
+                str(et): Linear(dim, dim, rng, bias=False, dtype=dtype) for et in edge_types
+            }
 
     def forward(
         self,
@@ -137,6 +142,7 @@ class HeteroGATConv(Module):
         rng: np.random.Generator,
         activation: bool = True,
         negative_slope: float = 0.2,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.dim = dim
@@ -145,16 +151,16 @@ class HeteroGATConv(Module):
         self.node_types = list(node_types)
         self.edge_types = list(edge_types)
         self.self_linears: Dict[str, Linear] = {
-            node_type: Linear(dim, dim, rng) for node_type in node_types
+            node_type: Linear(dim, dim, rng, dtype=dtype) for node_type in node_types
         }
         self.rel_linears: Dict[str, Linear] = {
-            str(et): Linear(dim, dim, rng, bias=False) for et in edge_types
+            str(et): Linear(dim, dim, rng, bias=False, dtype=dtype) for et in edge_types
         }
         self.attn_src: Dict[str, Linear] = {
-            str(et): Linear(dim, 1, rng, bias=False) for et in edge_types
+            str(et): Linear(dim, 1, rng, bias=False, dtype=dtype) for et in edge_types
         }
         self.attn_dst: Dict[str, Linear] = {
-            str(et): Linear(dim, 1, rng, bias=False) for et in edge_types
+            str(et): Linear(dim, 1, rng, bias=False, dtype=dtype) for et in edge_types
         }
 
     def forward(

@@ -12,7 +12,7 @@ from repro.graph.hetero import EdgeType, HeteroGraph, TIME_MIN
 from repro.graph.sampler import SampledSubgraph
 from repro.nn.layers import Dropout, Embedding, Linear, MLP
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, as_dtype
 
 __all__ = ["GraphMetadata", "NodeEncoder", "HeteroGNN", "TwoTowerModel"]
 
@@ -104,10 +104,12 @@ class NodeEncoder(Module):
         rng: np.random.Generator,
         degree_features: bool = True,
         time_encoding: str = "log",
+        dtype=None,
     ) -> None:
         super().__init__()
         self.dim = dim
         self.time_encoding = time_encoding
+        self.dtype = as_dtype(dtype)
         time_dim = _time_feature_dim(time_encoding)
         self.numeric_linears: Dict[str, Linear] = {}
         self.time_linears: Dict[str, Linear] = {}
@@ -117,18 +119,18 @@ class NodeEncoder(Module):
         for node_type in metadata.node_types:
             if metadata.numeric_dims[node_type] > 0:
                 self.numeric_linears[node_type] = Linear(
-                    metadata.numeric_dims[node_type], dim, rng, bias=False
+                    metadata.numeric_dims[node_type], dim, rng, bias=False, dtype=dtype
                 )
-            self.time_linears[node_type] = Linear(time_dim, dim, rng, bias=False)
+            self.time_linears[node_type] = Linear(time_dim, dim, rng, bias=False, dtype=dtype)
             if degree_features and metadata.incoming_counts.get(node_type, 0) > 0:
                 self.degree_linears[node_type] = Linear(
-                    metadata.incoming_counts[node_type], dim, rng, bias=False
+                    metadata.incoming_counts[node_type], dim, rng, bias=False, dtype=dtype
                 )
             self.cat_embeddings[node_type] = [
-                Embedding(cardinality, dim, rng)
+                Embedding(cardinality, dim, rng, dtype=dtype)
                 for cardinality in metadata.categorical_cardinalities[node_type]
             ]
-            self.type_bias[node_type] = Parameter(np.zeros(dim))
+            self.type_bias[node_type] = Parameter(np.zeros(dim), dtype=dtype)
 
     def forward(self, subgraph: SampledSubgraph, graph: HeteroGraph) -> Dict[str, Tensor]:
         """Hidden state per node type for all instances in ``subgraph``."""
@@ -140,19 +142,20 @@ class NodeEncoder(Module):
                 Tensor(
                     _time_features(
                         ctx, graph.node_times(node_type)[orig], encoding=self.time_encoding
-                    )
+                    ),
+                    dtype=self.dtype,
                 )
             )
             degree_linear = self.degree_linears.get(node_type)
             if degree_linear is not None:
                 degrees = subgraph.node_degrees(node_type)
                 if degrees.shape[1] == degree_linear.in_features:
-                    state = state + degree_linear(Tensor(np.log1p(degrees)))
+                    state = state + degree_linear(Tensor(np.log1p(degrees), dtype=self.dtype))
             features = graph.features.get(node_type)
             if features is not None:
                 if features.numeric_dim > 0:
                     state = state + self.numeric_linears[node_type](
-                        Tensor(features.numeric[orig])
+                        Tensor(features.numeric[orig], dtype=self.dtype)
                     )
                 for embedding, cat in zip(self.cat_embeddings[node_type], features.categorical):
                     state = state + embedding(cat.codes[orig])
@@ -180,13 +183,16 @@ class HeteroGNN(Module):
         degree_features: bool = True,
         conv_type: str = "sage",
         time_encoding: str = "log",
+        dtype=None,
     ) -> None:
         super().__init__()
         self.metadata = metadata
+        self.dtype = as_dtype(dtype)
         self.encoder = NodeEncoder(
             metadata, hidden_dim, rng,
             degree_features=degree_features,
             time_encoding=time_encoding,
+            dtype=dtype,
         )
         if conv_type == "sage":
             self.convs = [
@@ -197,18 +203,19 @@ class HeteroGNN(Module):
                     rng,
                     aggregation=aggregation,
                     shared_weights=shared_weights,
+                    dtype=dtype,
                 )
                 for _ in range(num_layers)
             ]
         elif conv_type == "gat":
             self.convs = [
-                HeteroGATConv(metadata.node_types, metadata.edge_types, hidden_dim, rng)
+                HeteroGATConv(metadata.node_types, metadata.edge_types, hidden_dim, rng, dtype=dtype)
                 for _ in range(num_layers)
             ]
         else:
             raise ValueError(f"conv_type must be 'sage' or 'gat', got {conv_type!r}")
         self.dropout = Dropout(dropout, rng) if dropout > 0 else None
-        self.head = MLP([hidden_dim, hidden_dim, out_dim], rng)
+        self.head = MLP([hidden_dim, hidden_dim, out_dim], rng, dtype=dtype)
 
     @property
     def num_layers(self) -> int:
@@ -248,9 +255,11 @@ class TwoTowerModel(Module):
         num_layers: int,
         rng: np.random.Generator,
         dropout: float = 0.0,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.item_type = item_type
+        self.dtype = as_dtype(dtype)
         self.query_tower = HeteroGNN(
             metadata,
             hidden_dim=embed_dim,
@@ -258,14 +267,15 @@ class TwoTowerModel(Module):
             num_layers=num_layers,
             rng=rng,
             dropout=dropout,
+            dtype=dtype,
         )
-        self.item_embedding = Embedding(num_items, embed_dim, rng)
+        self.item_embedding = Embedding(num_items, embed_dim, rng, dtype=dtype)
         item_numeric = metadata.numeric_dims.get(item_type, 0)
         self.item_feature_linear = (
-            Linear(item_numeric, embed_dim, rng, bias=False) if item_numeric > 0 else None
+            Linear(item_numeric, embed_dim, rng, bias=False, dtype=dtype) if item_numeric > 0 else None
         )
         self.item_cat_embeddings = [
-            Embedding(cardinality, embed_dim, rng)
+            Embedding(cardinality, embed_dim, rng, dtype=dtype)
             for cardinality in metadata.categorical_cardinalities.get(item_type, [])
         ]
 
@@ -281,7 +291,7 @@ class TwoTowerModel(Module):
         if features is not None:
             if self.item_feature_linear is not None and features.numeric_dim > 0:
                 embedding = embedding + self.item_feature_linear(
-                    Tensor(features.numeric[item_ids])
+                    Tensor(features.numeric[item_ids], dtype=self.dtype)
                 )
             for emb, cat in zip(self.item_cat_embeddings, features.categorical):
                 embedding = embedding + emb(cat.codes[item_ids])

@@ -32,12 +32,12 @@ def _check(messages: Tensor, index: np.ndarray, num_targets: int) -> np.ndarray:
 def scatter_sum(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
     """Sum messages into ``num_targets`` slots: ``out[i] = Σ_{e: index[e]=i} m[e]``."""
     index = _check(messages, index, num_targets)
-    data = np.zeros((num_targets, messages.shape[1]))
+    data = np.zeros((num_targets, messages.shape[1]), dtype=messages.data.dtype)
     np.add.at(data, index, messages.data)
 
     def backward(grad: np.ndarray) -> None:
         if messages.requires_grad:
-            messages._accumulate(np.asarray(grad)[index])
+            messages._accumulate(np.asarray(grad)[index], owned=True)
 
     return Tensor._make(data, (messages,), backward)
 
@@ -45,16 +45,16 @@ def scatter_sum(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor
 def scatter_mean(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor:
     """Average messages per slot; empty slots stay zero."""
     index = _check(messages, index, num_targets)
-    counts = np.bincount(index, minlength=num_targets).astype(np.float64)
+    counts = np.bincount(index, minlength=num_targets).astype(messages.data.dtype)
     safe_counts = np.maximum(counts, 1.0)
-    data = np.zeros((num_targets, messages.shape[1]))
+    data = np.zeros((num_targets, messages.shape[1]), dtype=messages.data.dtype)
     np.add.at(data, index, messages.data)
     data /= safe_counts[:, None]
 
     def backward(grad: np.ndarray) -> None:
         if messages.requires_grad:
             scaled = np.asarray(grad) / safe_counts[:, None]
-            messages._accumulate(scaled[index])
+            messages._accumulate(scaled[index], owned=True)
 
     return Tensor._make(data, (messages,), backward)
 
@@ -66,7 +66,7 @@ def scatter_max(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor
     (split equally among ties).
     """
     index = _check(messages, index, num_targets)
-    data = np.full((num_targets, messages.shape[1]), -np.inf)
+    data = np.full((num_targets, messages.shape[1]), -np.inf, dtype=messages.data.dtype)
     np.maximum.at(data, index, messages.data)
     empty = ~np.isfinite(data)
     data = np.where(empty, 0.0, data)
@@ -76,10 +76,10 @@ def scatter_max(messages: Tensor, index: np.ndarray, num_targets: int) -> Tensor
             return
         grad = np.asarray(grad)
         is_max = (messages.data == data[index]) & ~empty[index]
-        tie_counts = np.zeros((num_targets, messages.shape[1]))
-        np.add.at(tie_counts, index, is_max.astype(np.float64))
+        tie_counts = np.zeros((num_targets, messages.shape[1]), dtype=messages.data.dtype)
+        np.add.at(tie_counts, index, is_max.astype(messages.data.dtype))
         tie_counts = np.maximum(tie_counts, 1.0)
-        messages._accumulate(np.where(is_max, grad[index] / tie_counts[index], 0.0))
+        messages._accumulate(np.where(is_max, grad[index] / tie_counts[index], 0.0), owned=True)
 
     return Tensor._make(data, (messages,), backward)
 
@@ -97,10 +97,10 @@ def segment_softmax(scores: Tensor, index: np.ndarray, num_targets: int) -> Tens
         raise ValueError(f"segment_softmax expects (E, 1) scores, got {scores.shape}")
     # Per-segment max, gathered back to edges (treated as a constant in
     # the backward pass — standard for stabilized softmax).
-    seg_max = np.zeros((num_targets, 1))
+    seg_max = np.zeros((num_targets, 1), dtype=scores.data.dtype)
     np.maximum.at(seg_max, index, scores.data)
     shifted = scores - Tensor(seg_max[index])
     exp = shifted.exp()
     denominator = scatter_sum(exp, index, num_targets)
-    safe = denominator + Tensor(np.where(denominator.data <= 0, 1.0, 0.0))
+    safe = denominator + Tensor(np.where(denominator.data <= 0, 1.0, 0.0).astype(scores.data.dtype))
     return exp / safe.take(index)

@@ -40,8 +40,8 @@ from repro.gnn.models import HeteroGNN, TwoTowerModel
 from repro.graph.hetero import HeteroGraph
 from repro.graph.sampler import NeighborSampler
 from repro.nn.losses import binary_cross_entropy_with_logits, bpr_loss, cross_entropy, mse_loss
-from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import no_grad
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
 from repro.obs import get_logger, get_registry
 from repro.obs import trace as obs_trace
 from repro.resilience.checkpoint import CheckpointManager
@@ -85,6 +85,15 @@ class TrainConfig:
     num_workers: int = 0
     #: Batches kept in flight beyond one per worker.
     prefetch_batches: int = 2
+    #: Batch size for no-grad evaluation/prediction.  Inference builds
+    #: no backward graph, so it can usually run much larger batches
+    #: than training; ``None`` falls back to ``batch_size``.
+    infer_batch_size: Optional[int] = None
+
+    @property
+    def effective_infer_batch_size(self) -> int:
+        """Batch size used by evaluation/prediction paths."""
+        return self.infer_batch_size or self.batch_size
 
 
 @dataclass
@@ -478,7 +487,7 @@ class NodeTaskTrainer:
                     raise _Diverged(reason, loss_value)
                 optimizer.zero_grad()
                 loss.backward()
-                norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                norm = optimizer.gather_and_clip(self.config.clip_norm)
                 reason = loop.guard.check_grad_norm(norm)
                 if reason is not None:
                     raise _Diverged(reason, norm)
@@ -520,9 +529,10 @@ class NodeTaskTrainer:
         self.model.eval()
         losses = []
         weights = []
+        batch_size = self.config.effective_infer_batch_size
         with no_grad():
-            for start in range(0, len(ids), self.config.batch_size):
-                stop = start + self.config.batch_size
+            for start in range(0, len(ids), batch_size):
+                stop = start + batch_size
                 loss = self._batch_loss(seed_type, ids[start:stop], times[start:stop], labels[start:stop])
                 losses.append(loss.item())
                 weights.append(min(stop, len(ids)) - start)
@@ -543,9 +553,10 @@ class NodeTaskTrainer:
         # random draws training consumed (important for save/load parity).
         self.sampler.rng = np.random.default_rng(self.config.seed + 9999)
         outputs: List[np.ndarray] = []
+        batch_size = self.config.effective_infer_batch_size
         with no_grad():
-            for start in range(0, len(ids), self.config.batch_size):
-                stop = start + self.config.batch_size
+            for start in range(0, len(ids), batch_size):
+                stop = start + batch_size
                 subgraph = self.sampler.sample(seed_type, ids[start:stop], times[start:stop])
                 raw = self.model(subgraph, self.graph)
                 if self.task_type == "binary":
@@ -587,6 +598,9 @@ class LinkTaskTrainer:
         self.history = _History()
         self._rng = np.random.default_rng(self.config.seed)
         self._num_items = graph.num_nodes(model.item_type)
+        #: (item_ids bytes, embeddings) memo for inference; see
+        #: :meth:`_cached_item_embeddings`.
+        self._item_embed_cache: Optional[Tuple[bytes, Tensor]] = None
 
     def fit(
         self,
@@ -600,6 +614,7 @@ class LinkTaskTrainer:
         deadline: Optional[Deadline] = None,
     ) -> _History:
         """Train on positive (query, item) pairs with sampled negatives."""
+        self._item_embed_cache = None  # parameters are about to change
         optimizer = Adam(
             self.model.parameters(),
             lr=self.config.lr,
@@ -626,7 +641,7 @@ class LinkTaskTrainer:
                     raise _Diverged(reason, loss_value)
                 optimizer.zero_grad()
                 loss.backward()
-                norm = clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                norm = optimizer.gather_and_clip(self.config.clip_norm)
                 reason = loop.guard.check_grad_norm(norm)
                 if reason is not None:
                     raise _Diverged(reason, norm)
@@ -641,6 +656,7 @@ class LinkTaskTrainer:
                 seed_type, val_query_ids, val_query_times, val_pos_item_ids
             )
         loop.run(run_epoch, run_val)
+        self._item_embed_cache = None  # drop anything cached mid-fit
         return self.history
 
     def _batch_loss(self, seed_type, query_ids, query_times, pos_items, subgraph=None):
@@ -661,9 +677,10 @@ class LinkTaskTrainer:
     def _evaluate_loss(self, seed_type, query_ids, query_times, pos_items) -> float:
         self.model.eval()
         losses, weights = [], []
+        batch_size = self.config.effective_infer_batch_size
         with no_grad():
-            for start in range(0, len(query_ids), self.config.batch_size):
-                stop = start + self.config.batch_size
+            for start in range(0, len(query_ids), batch_size):
+                stop = start + batch_size
                 loss = self._batch_loss(
                     seed_type,
                     query_ids[start:stop],
@@ -686,10 +703,11 @@ class LinkTaskTrainer:
         # Deterministic inference (see NodeTaskTrainer.predict).
         self.sampler.rng = np.random.default_rng(self.config.seed + 9999)
         blocks: List[np.ndarray] = []
+        batch_size = self.config.effective_infer_batch_size
         with no_grad():
-            items = self.model.item_embeddings(item_ids, self.graph)
-            for start in range(0, len(query_ids), self.config.batch_size):
-                stop = start + self.config.batch_size
+            items = self._cached_item_embeddings(item_ids)
+            for start in range(0, len(query_ids), batch_size):
+                stop = start + batch_size
                 subgraph = self.sampler.sample(
                     seed_type, query_ids[start:stop], query_times[start:stop]
                 )
@@ -698,3 +716,19 @@ class LinkTaskTrainer:
         if not blocks:
             return np.zeros((0, len(item_ids)))
         return np.vstack(blocks)
+
+    def _cached_item_embeddings(self, item_ids: np.ndarray) -> Tensor:
+        """Item-tower embeddings, memoized across inference calls.
+
+        The item tower sees the same ids on every ``rank_items`` /
+        ``score_against_items`` call, so its forward pass is pure
+        repeated work once the model is frozen.  ``fit`` invalidates
+        the cache (parameters change every step).
+        """
+        key = np.asarray(item_ids, dtype=np.int64).tobytes()
+        cached = self._item_embed_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        items = self.model.item_embeddings(item_ids, self.graph)
+        self._item_embed_cache = (key, items)
+        return items

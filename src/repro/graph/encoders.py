@@ -17,6 +17,7 @@ Encoding rules (mirroring RelBench's default column transforms):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -89,8 +90,13 @@ class NodeFeatures:
         )
 
 
+@lru_cache(maxsize=65536)
 def _stable_hash(text: str) -> int:
-    """Deterministic string hash (python's builtin is salted per process)."""
+    """Deterministic FNV-1a string hash (python's builtin is salted per process).
+
+    Cached: encoding hashes each *distinct* value once, and the same
+    vocabularies recur across snapshot cutoffs within a run.
+    """
     value = 2166136261
     for char in text.encode("utf-8"):
         value = ((value ^ char) * 16777619) & 0xFFFFFFFF
@@ -174,9 +180,15 @@ def _encode_numeric(
 def _encode_categorical(
     name: str, values: np.ndarray, null_mask: np.ndarray, fit_mask: np.ndarray
 ) -> CategoricalEncoding:
-    """Integer-code a string column with overflow hashing for unseen values."""
+    """Integer-code a string column with overflow hashing for unseen values.
+
+    Vectorized: rows are uniqued once, each distinct string is coded
+    (vocabulary lookup, else stable hash) exactly once, and per-row
+    codes are a single gather instead of a python loop over rows.
+    """
     usable = fit_mask & ~null_mask
-    seen = sorted({str(v) for v in values[usable]})
+    as_text = values.astype(str)
+    seen = np.unique(as_text[usable]).tolist()
     if len(seen) > _MAX_VOCAB:
         # Hash everything: cardinality = _MAX_VOCAB + null + overflow.
         vocabulary: Dict[str, int] = {}
@@ -188,21 +200,23 @@ def _encode_categorical(
     overflow_start = base + 1
     cardinality = overflow_start + _OVERFLOW_BUCKETS
 
-    codes = np.empty(len(values), dtype=np.int64)
-    for i, raw in enumerate(values):
-        if null_mask[i]:
-            codes[i] = null_code
-        else:
-            text = str(raw)
-            if vocabulary:
-                code = vocabulary.get(text)
-                codes[i] = (
-                    code
-                    if code is not None
-                    else overflow_start + _stable_hash(text) % _OVERFLOW_BUCKETS
-                )
-            else:
-                codes[i] = _stable_hash(text) % _MAX_VOCAB
+    uniq, inverse = np.unique(as_text, return_inverse=True)
+    if vocabulary:
+        unique_codes = np.array(
+            [
+                vocabulary[text]
+                if text in vocabulary
+                else overflow_start + _stable_hash(text) % _OVERFLOW_BUCKETS
+                for text in map(str, uniq)
+            ],
+            dtype=np.int64,
+        )
+    else:
+        unique_codes = np.array(
+            [_stable_hash(str(text)) % _MAX_VOCAB for text in uniq], dtype=np.int64
+        )
+    codes = unique_codes[inverse]
+    codes[null_mask] = null_code
     return CategoricalEncoding(
         name=name, codes=codes, cardinality=cardinality, vocabulary=vocabulary
     )

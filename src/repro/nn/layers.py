@@ -6,6 +6,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
@@ -33,6 +34,8 @@ class Linear(Module):
         Random generator for initialization.
     bias:
         Whether to include the additive bias term.
+    dtype:
+        Compute dtype for the parameters (default float64).
     """
 
     def __init__(
@@ -41,19 +44,17 @@ class Linear(Module):
         out_features: int,
         rng: np.random.Generator,
         bias: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
-        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), dtype=dtype)
+        self.bias = Parameter(init.zeros((out_features,)), dtype=dtype) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        """Affine transform of the last axis."""
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        """Affine transform of the last axis (fused ``addmm`` on 2-D input)."""
+        return F.addmm(x, self.weight, self.bias)
 
 
 class ReLU(Module):
@@ -91,7 +92,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)
 
 
@@ -129,6 +130,8 @@ class MLP(Module):
     final_activation:
         Whether to apply ReLU after the last layer too (default off,
         so the MLP can produce logits/regression outputs).
+    dtype:
+        Compute dtype for every layer's parameters (default float64).
     """
 
     def __init__(
@@ -137,36 +140,38 @@ class MLP(Module):
         rng: np.random.Generator,
         dropout: float = 0.0,
         final_activation: bool = False,
+        dtype=None,
     ) -> None:
         super().__init__()
         if len(dims) < 2:
             raise ValueError("MLP needs at least an input and an output width")
         self.layers: List[Linear] = [
-            Linear(d_in, d_out, rng) for d_in, d_out in zip(dims[:-1], dims[1:])
+            Linear(d_in, d_out, rng, dtype=dtype) for d_in, d_out in zip(dims[:-1], dims[1:])
         ]
         self.dropout = Dropout(dropout, rng) if dropout > 0 else None
         self.final_activation = final_activation
 
     def forward(self, x: Tensor) -> Tensor:
-        """Run the linear stack with ReLU (+dropout) between layers."""
+        """Run the linear stack with fused linear+ReLU (+dropout) between layers."""
         last = len(self.layers) - 1
         for i, layer in enumerate(self.layers):
-            x = layer(x)
             if i < last or self.final_activation:
-                x = x.relu()
+                x = F.linear_relu(x, layer.weight, layer.bias)
                 if self.dropout is not None:
                     x = self.dropout(x)
+            else:
+                x = layer(x)
         return x
 
 
 class Embedding(Module):
     """Lookup table mapping integer ids to dense vectors."""
 
-    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, dtype=None) -> None:
         super().__init__()
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=0.1))
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=0.1), dtype=dtype)
 
     def forward(self, indices: np.ndarray) -> Tensor:
         """Embedding rows for integer ``indices`` (gradients accumulate)."""
@@ -182,12 +187,12 @@ class Embedding(Module):
 class LayerNorm(Module):
     """Layer normalization over the last axis with learned scale/shift."""
 
-    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+    def __init__(self, dim: int, eps: float = 1e-5, dtype=None) -> None:
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim), dtype=dtype)
+        self.beta = Parameter(np.zeros(dim), dtype=dtype)
 
     def forward(self, x: Tensor) -> Tensor:
         """Normalize the last axis to zero mean / unit variance, then scale-shift."""

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -32,37 +33,31 @@ def binary_cross_entropy_with_logits(
     ``pos_weight`` multiplies the positive-class term, for class
     imbalance.
     """
-    targets = np.asarray(targets, dtype=np.float64).reshape(logits.shape)
-    t = Tensor(targets)
-    # bce = softplus(z) - z*y, which equals -y*log(p) - (1-y)*log(1-p).
-    per_example = logits.softplus() - logits * t
-    if pos_weight is not None and pos_weight != 1.0:
-        weights = np.where(targets > 0.5, pos_weight, 1.0)
-        per_example = per_example * Tensor(weights)
-    return per_example.mean()
+    targets = np.asarray(targets, dtype=logits.data.dtype).reshape(logits.shape)
+    # bce = softplus(z) - z*y, which equals -y*log(p) - (1-y)*log(1-p);
+    # the fused kernel backpropagates sigmoid(z) - y directly.
+    weight = pos_weight if pos_weight is not None and pos_weight != 1.0 else None
+    return F.bce_with_logits(logits, targets, pos_weight=weight).mean()
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Multiclass cross-entropy: ``logits`` is (n, C), ``targets`` int (n,)."""
     targets = np.asarray(targets, dtype=np.int64)
-    n, num_classes = logits.shape
+    n, _ = logits.shape
     if targets.shape != (n,):
         raise ValueError(f"targets shape {targets.shape} does not match batch {n}")
-    log_probs = logits.log_softmax(axis=-1)
-    one_hot = np.zeros((n, num_classes))
-    one_hot[np.arange(n), targets] = 1.0
-    return (log_probs * Tensor(one_hot)).sum() * (-1.0 / max(n, 1))
+    return F.softmax_cross_entropy(logits, targets)
 
 
 def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
     """Mean squared error."""
-    diff = pred - Tensor(np.asarray(targets, dtype=np.float64).reshape(pred.shape))
+    diff = pred - Tensor(np.asarray(targets, dtype=pred.data.dtype).reshape(pred.shape))
     return (diff * diff).mean()
 
 
 def l1_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
     """Mean absolute error."""
-    diff = pred - Tensor(np.asarray(targets, dtype=np.float64).reshape(pred.shape))
+    diff = pred - Tensor(np.asarray(targets, dtype=pred.data.dtype).reshape(pred.shape))
     return diff.abs().mean()
 
 
@@ -73,7 +68,7 @@ def huber_loss(pred: Tensor, targets: np.ndarray, delta: float = 1.0) -> Tensor:
     ``delta^2 * (sqrt(1 + (r/delta)^2) - 1)`` (pseudo-Huber), which has
     the same asymptotics and is differentiable everywhere.
     """
-    targets = np.asarray(targets, dtype=np.float64).reshape(pred.shape)
+    targets = np.asarray(targets, dtype=pred.data.dtype).reshape(pred.shape)
     residual = pred - Tensor(targets)
     scaled = residual * (1.0 / delta)
     return (((scaled * scaled + 1.0).sqrt() - 1.0) * (delta**2)).mean()

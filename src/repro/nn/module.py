@@ -12,10 +12,15 @@ __all__ = ["Module", "Parameter"]
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a learnable parameter."""
+    """A tensor that is registered as a learnable parameter.
 
-    def __init__(self, data) -> None:
-        super().__init__(data, requires_grad=True)
+    ``dtype`` selects the compute dtype (float64 default; float32 for
+    the fast training path).  Initializers hand in float64 arrays, so
+    the cast happens exactly once, here.
+    """
+
+    def __init__(self, data, dtype=None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype or np.float64)
 
 
 class Module:

@@ -5,7 +5,9 @@ differentiable op stores its parents and a closure that accumulates
 gradients into them.  :meth:`Tensor.backward` topologically sorts the
 graph and runs the closures in reverse.
 
-Only float64 data participates in differentiation; integer index arrays
+Floating data participates in differentiation in a configurable
+compute dtype: float64 by default (the reference numerics), float32
+when a model opts in via ``dtype=`` for speed.  Integer index arrays
 are passed as plain numpy arrays to ops like :meth:`Tensor.take` and
 :func:`scatter-style <repro.gnn.scatter>` aggregations.
 """
@@ -17,9 +19,23 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad"]
+__all__ = ["Tensor", "no_grad", "as_dtype"]
 
 _GRAD_ENABLED = True
+
+#: Dtypes a Tensor will keep as-is; everything else is cast to float64.
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def as_dtype(spec) -> np.dtype:
+    """Resolve a compute-dtype spec (``"float32"``/``"float64"``/numpy
+    dtype/None) to a numpy dtype; ``None`` means the float64 default."""
+    if spec is None:
+        return np.dtype(np.float64)
+    dtype = np.dtype(spec)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"compute dtype must be float32 or float64, got {dtype}")
+    return dtype
 
 
 @contextlib.contextmanager
@@ -55,16 +71,25 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like; stored as float64.
+        Array-like.  float32/float64 arrays are kept as-is; anything
+        else is cast to float64.  Pass ``dtype`` to force a cast.
     requires_grad:
         Whether gradients should flow into this tensor (leaf
         parameters set this true).
+    dtype:
+        Optional compute dtype (float32 or float64) to cast ``data`` to.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
-    def __init__(self, data, requires_grad: bool = False) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(self, data, requires_grad: bool = False, dtype=None) -> None:
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=as_dtype(dtype))
+        else:
+            arr = np.asarray(data)
+            if arr.dtype not in _FLOAT_DTYPES:
+                arr = arr.astype(np.float64)
+            self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -122,12 +147,26 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (allocated on first use).
+
+        ``owned=True`` promises the caller just allocated ``grad`` for
+        this tensor alone, so the first accumulation can adopt the
+        array instead of copying it.  Mixed-dtype graphs (float32
+        params fed float64 inputs) cast back to the tensor's dtype
+        here, keeping accumulation in-place and dtype-stable.
+        """
+        grad = np.asarray(grad)
+        if grad.dtype != self.data.dtype:
+            grad = grad.astype(self.data.dtype)
+            owned = True
+        out = _unbroadcast(grad, self.data.shape)
+        if out is not grad:
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = out if owned else out.copy()
         else:
-            self.grad += grad
+            self.grad += out
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor.
@@ -136,6 +175,7 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        root_owned = grad is None
         if grad is None:
             grad = np.ones_like(self.data)
         topo: List[Tensor] = []
@@ -157,11 +197,14 @@ class Tensor:
                         stack.append((parent, False))
 
         visit(self)
-        self._accumulate(grad)
+        self._accumulate(grad, owned=root_owned)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
-                # Free intermediate grads? Keep for inspection; cheap at our scale.
+                # Intermediate (non-leaf) grads are consumed the moment the
+                # closure runs; free them so deep graphs don't retain one
+                # activation-sized buffer per op.
+                node.grad = None
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
@@ -174,9 +217,14 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
-    @staticmethod
-    def _lift(value) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(self, value) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        # Python scalars follow this tensor's dtype (a 0-d float64 array
+        # would otherwise silently upcast a float32 graph under NEP 50).
+        if isinstance(value, (int, float, np.floating, np.integer)):
+            return Tensor(value, dtype=self.data.dtype)
+        return Tensor(value)
 
     def __add__(self, other) -> "Tensor":
         other = self._lift(other)
@@ -469,7 +517,7 @@ class Tensor:
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
         """Concatenate tensors along ``axis``."""
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
@@ -487,7 +535,7 @@ class Tensor:
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         """Stack tensors along a new axis."""
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         data = np.stack([t.data for t in tensors], axis=axis)
 
         def backward(grad: np.ndarray) -> None:

@@ -150,6 +150,14 @@ class PlannerConfig:
     num_workers: int = 0
     #: Batches kept in flight beyond one per worker.
     prefetch_batches: int = 2
+    #: Compute dtype for model parameters and activations: "float64"
+    #: (default, the reference numerics) or "float32" (the fast
+    #: training path; gradcheck always runs in float64).
+    compute_dtype: str = "float64"
+    #: Batch size for no-grad inference (evaluation, predict,
+    #: rank_items); None falls back to ``batch_size``.  Inference holds
+    #: no backward graph, so this can usually be several times larger.
+    infer_batch_size: Optional[int] = None
 
     def make_sampler(self, graph, rng) -> "CachedSampler":
         """Instantiate the configured sampler implementation.
@@ -197,6 +205,7 @@ class PlannerConfig:
             seed=self.seed,
             num_workers=self.num_workers,
             prefetch_batches=self.prefetch_batches,
+            infer_batch_size=self.infer_batch_size,
         )
 
 
@@ -414,6 +423,7 @@ class PredictiveQueryPlanner:
             degree_features=self.config.degree_features,
             conv_type=self.config.conv_type,
             time_encoding=self.config.time_encoding,
+            dtype=self.config.compute_dtype,
         )
         task = "binary" if binding.task_type == TaskType.BINARY else "regression"
         pos_weight = None
@@ -459,6 +469,7 @@ class PredictiveQueryPlanner:
             num_layers=self.config.num_layers,
             rng=rng,
             dropout=self.config.dropout,
+            dtype=self.config.compute_dtype,
         )
         trainer = LinkTaskTrainer(
             model,
@@ -625,11 +636,12 @@ class TrainedPredictiveModel:
         item_ids = np.arange(self.graph.num_nodes(item_type))
         scores = self._item_scorer().score_against_items(entity_type, q_ids, times, item_ids)
         item_keys = self.graph.node_keys[item_type]
-        results = []
-        for row in scores:
-            top = np.argsort(-row, kind="stable")[:k]
-            results.append((item_keys[top], row[top]))
-        return results
+        # One vectorized sort across all rows; ``stable`` keeps the same
+        # deterministic tie order as sorting each row separately.
+        top = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        rows = np.arange(scores.shape[0])[:, None]
+        top_scores = scores[rows, top]
+        return [(item_keys[top[i]], top_scores[i]) for i in range(scores.shape[0])]
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -837,6 +849,7 @@ class TrainedPredictiveModel:
                 num_layers=config.num_layers,
                 rng=rng,
                 dropout=config.dropout,
+                dtype=config.compute_dtype,
             )
             network.load_state_dict(state)
             network.eval()
@@ -858,6 +871,7 @@ class TrainedPredictiveModel:
                 degree_features=config.degree_features,
                 conv_type=config.conv_type,
                 time_encoding=config.time_encoding,
+                dtype=config.compute_dtype,
             )
             network.load_state_dict(state)
             network.eval()
