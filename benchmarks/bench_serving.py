@@ -1,0 +1,204 @@
+"""Online-serving latency/throughput benchmark and regression gate.
+
+Measures the micro-batching scheduler end to end: a burst of
+single-entity predict requests is pushed through a
+:class:`~repro.serve.service.PredictionService` and each mode reports
+throughput (rows/s) plus per-request latency percentiles (p50/p99),
+for a cold subgraph cache and again for a warm one:
+
+* ``single``        — ``max_batch_size=1``: every request pays its own
+  model call (the no-batching baseline)
+* ``batched-10ms``  — up to 64 rows coalesced inside a 10 ms window:
+  the same traffic amortized into ~1/64th as many model calls
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py                # write BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --check BENCH_serving.json
+
+``--check`` re-runs the suite and exits non-zero if any mode's warm
+throughput dropped more than 30% below the baseline file.  The file
+doubles as a pytest module (run ``pytest benchmarks/bench_serving.py``)
+asserting the acceptance floor: batched serving at ≥2× single-request
+throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datasets import get_dataset
+from repro.eval.splits import make_temporal_split
+from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
+from repro.serve import PredictionService, ServeConfig
+
+REGRESSION_TOLERANCE = 0.30  # fail --check below 70% of baseline throughput
+ACCEPTANCE_SPEEDUP = 2.0     # batched-10ms must beat single by this (warm)
+
+MODES = {
+    "single": ServeConfig(max_batch_size=1, max_wait_ms=0.0, max_queue_depth=4096),
+    "batched-10ms": ServeConfig(max_batch_size=64, max_wait_ms=10.0, max_queue_depth=4096),
+}
+
+
+def train_model(scale: float = 0.3, seed: int = 0):
+    """One tiny churn model shared by every mode (training is not timed)."""
+    spec = get_dataset("ecommerce")
+    task = spec.task("churn")
+    db = spec.build(scale=scale, seed=seed)
+    span = db.time_span()
+    split = make_temporal_split(
+        span[0], span[1], parse(task.query).horizon_seconds, num_train_cutoffs=2
+    )
+    config = PlannerConfig(
+        hidden_dim=8, num_layers=1, epochs=3, seed=seed,
+        cache_size=256, infer_batch_size=64,
+    )
+    model = PredictiveQueryPlanner(db, config).fit(task.query, split)
+    return model, split
+
+
+def build_requests(model, split, num_requests: int = 192):
+    """Single-entity request keys cycled over every customer."""
+    entity_type = model.binding.query.entity_table
+    keys = model.graph.node_keys[entity_type]
+    reps = int(np.ceil(num_requests / len(keys)))
+    return np.tile(keys, reps)[:num_requests], int(split.test_cutoff)
+
+
+def _subgraph_cache(model):
+    trainer = model.node_trainer or model.link_trainer
+    return getattr(trainer.sampler, "cache", None) if trainer is not None else None
+
+
+def run_pass(service: PredictionService, keys: np.ndarray, cutoff: int) -> Dict:
+    """Submit every key as its own request; wait; report latency stats."""
+    start = time.perf_counter()
+    futures = [service.predict_async([key], cutoff) for key in keys.tolist()]
+    for future in futures:
+        future.result(timeout=120.0)
+    wall = time.perf_counter() - start
+    latencies_ms = np.array([f.latency_seconds() * 1000.0 for f in futures])
+    return {
+        "requests": len(futures),
+        "wall_seconds": round(wall, 4),
+        "rows_per_sec": round(len(futures) / wall, 1),
+        "latency_p50_ms": round(float(np.percentile(latencies_ms, 50)), 3),
+        "latency_p99_ms": round(float(np.percentile(latencies_ms, 99)), 3),
+    }
+
+
+def run_mode(model, mode: str, keys: np.ndarray, cutoff: int) -> Dict:
+    """Cold pass (empty subgraph cache) then warm pass on one service."""
+    cache = _subgraph_cache(model)
+    if cache is not None:
+        cache.clear()
+    service = PredictionService(model, config=MODES[mode], name=f"bench-{mode}")
+    try:
+        cold = run_pass(service, keys, cutoff)
+        warm = run_pass(service, keys, cutoff)
+    finally:
+        service.close()
+    return {"cold": cold, "warm": warm}
+
+
+def run_suite(num_requests: int = 192, scale: float = 0.3) -> Dict:
+    model, split = train_model(scale=scale)
+    keys, cutoff = build_requests(model, split, num_requests=num_requests)
+    report: Dict = {
+        "workload": {
+            "dataset": "ecommerce",
+            "scale": scale,
+            "task": "churn",
+            "num_requests": int(num_requests),
+            "distinct_entities": int(len(np.unique(keys))),
+        },
+        "modes": {},
+    }
+    for mode in MODES:
+        report["modes"][mode] = run_mode(model, mode, keys, cutoff)
+    single = report["modes"]["single"]["warm"]["rows_per_sec"]
+    batched = report["modes"]["batched-10ms"]["warm"]["rows_per_sec"]
+    report["acceptance"] = {
+        "batched_speedup_warm": round(batched / single, 2),
+        "required_speedup": ACCEPTANCE_SPEEDUP,
+        "passed": batched / single >= ACCEPTANCE_SPEEDUP,
+    }
+    return report
+
+
+def check_against_baseline(report: Dict, baseline: Dict) -> List[str]:
+    """Regression messages (empty when the run is clean)."""
+    problems = []
+    for mode, entry in baseline.get("modes", {}).items():
+        current = report["modes"].get(mode)
+        if current is None:
+            problems.append(f"mode {mode!r} missing from current run")
+            continue
+        floor = entry["warm"]["rows_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if current["warm"]["rows_per_sec"] < floor:
+            problems.append(
+                f"{mode}: {current['warm']['rows_per_sec']:.0f} rows/s warm is more "
+                f"than {REGRESSION_TOLERANCE:.0%} below baseline "
+                f"{entry['warm']['rows_per_sec']:.0f}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_serving.json",
+                        help="where to write the report (default: %(default)s)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline report; exit 1 on regression")
+    parser.add_argument("--num-requests", type=int, default=192,
+                        help="requests per pass (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(num_requests=args.num_requests)
+    for mode, entry in report["modes"].items():
+        for state in ("cold", "warm"):
+            stats = entry[state]
+            print(f"{mode:<14} {state:<5} {stats['rows_per_sec']:>8.0f} rows/s"
+                  f"  p50 {stats['latency_p50_ms']:>7.2f}ms"
+                  f"  p99 {stats['latency_p99_ms']:>7.2f}ms")
+    print(f"batched speedup (warm): {report['acceptance']['batched_speedup_warm']:.2f}x "
+          f"(required {ACCEPTANCE_SPEEDUP:.1f}x)")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = check_against_baseline(report, baseline)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    if not report["acceptance"]["passed"]:
+        print("ACCEPTANCE: batched serving below required speedup", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- pytest entry point (run: pytest benchmarks/bench_serving.py) ------
+def test_serving_throughput_acceptance(tmp_path):
+    report = run_suite(num_requests=128)
+    assert report["acceptance"]["batched_speedup_warm"] >= ACCEPTANCE_SPEEDUP
+    out = tmp_path / "BENCH_serving.json"
+    with open(out, "w") as handle:
+        json.dump(report, handle)
+    assert json.load(open(out))["acceptance"]["passed"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

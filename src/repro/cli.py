@@ -17,6 +17,12 @@
     python -m repro sql --dataset ecommerce "SELECT COUNT(*) FROM orders"
         Run a SQL SELECT against a generated dataset and print rows.
 
+    python -m repro serve --dataset ecommerce --model artifacts/churn
+        Serve a saved model over a JSON-lines request loop (stdin →
+        stdout) with micro-batching, admission control, and per-request
+        deadlines.  ``--registry ROOT --model-name NAME`` loads from a
+        versioned model registry instead; see docs/serving.md.
+
 Throughput flags (``fit`` / ``query``; see docs/performance.md):
 
 * ``--sampler {reference,vectorized,vectorized-unique}`` picks the
@@ -168,6 +174,54 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("statement", help="the SELECT statement")
     sql.add_argument("--max-rows", type=int, default=20)
     add_verbosity(sql)
+
+    serve = sub.add_parser(
+        "serve", help="serve a saved model over a JSON-lines stdin/stdout loop"
+    )
+    serve.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
+    serve.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    serve.add_argument("--seed", type=int, default=0)
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--model", metavar="DIR", help="saved-model directory (`fit --save`)")
+    source.add_argument("--registry", metavar="ROOT", help="model-registry root directory")
+    serve.add_argument(
+        "--model-name", metavar="NAME",
+        help="registry model name (required with --registry)",
+    )
+    serve.add_argument(
+        "--model-version", type=int, default=None, metavar="N",
+        help="registry version to serve; default: latest",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=64, metavar="N",
+        help="most entity rows coalesced into one model call",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0, metavar="MS",
+        help="how long the oldest queued request may wait for company",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="pending-request ceiling; submissions beyond it fast-reject",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="default per-request deadline; unset = requests never expire",
+    )
+    serve.add_argument(
+        "--latency-budget-ms", type=float, default=None, metavar="MS",
+        help="per-batch model latency budget; repeated breaches degrade "
+             "to the heuristic rung",
+    )
+    serve.add_argument(
+        "--no-fallback", action="store_true",
+        help="fail requests instead of degrading when the model path breaks",
+    )
+    serve.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="prime caches with N entities before accepting traffic",
+    )
+    add_verbosity(serve)
     return parser
 
 
@@ -354,6 +408,44 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pql.planner import TrainedPredictiveModel
+    from repro.serve import ModelRegistry, PredictionService, ServeConfig, serve_loop
+
+    if args.registry and not args.model_name:
+        raise SystemExit("--registry requires --model-name")
+    _, db = _build_dataset(args)
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        latency_budget_ms=args.latency_budget_ms,
+        fallback=not args.no_fallback,
+    )
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        service = PredictionService.from_registry(
+            registry, args.model_name, db, version=args.model_version, config=config,
+        )
+    else:
+        model = TrainedPredictiveModel.load(args.model, db)
+        service = PredictionService(model, config=config, name=args.model)
+    if args.warmup:
+        warmed = service.warmup(args.warmup)
+        _log.info("caches warmed", extra={"entities": warmed})
+    # The ready line goes to stderr: stdout carries only protocol
+    # responses, and subprocess clients wait on this line before
+    # sending their first request.
+    print(f"ready: {service.name} ({service.model.task_type.value})", file=sys.stderr, flush=True)
+    try:
+        answered = serve_loop(service, sys.stdin, sys.stdout)
+    finally:
+        service.close()
+    print(f"served {answered} requests", file=sys.stderr, flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -372,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_traced(args, lambda: _cmd_query(args))
     if args.command == "sql":
         return _cmd_sql(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

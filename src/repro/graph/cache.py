@@ -195,6 +195,19 @@ class LRUSubgraphCache:
         with self._lock:
             self._entries.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters, keeping cached entries.
+
+        A warm cache is an asset worth keeping across owners (e.g. a
+        reloaded model or a fresh serving instance), but its traffic
+        history is not — resetting stops a previous owner's counters
+        from leaking into a new owner's reports.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
     def stats(self) -> Dict[str, int]:
         """``{hits, misses, evictions, entries, max_entries}`` snapshot."""
         with self._lock:

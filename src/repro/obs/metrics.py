@@ -172,6 +172,19 @@ class MetricsRegistry:
         """Drop every instrument."""
         self._instruments.clear()
 
+    def drop_prefix(self, prefix: str) -> int:
+        """Drop every instrument whose name starts with ``prefix``.
+
+        Returns the number of instruments dropped.  Used by components
+        with a lifecycle shorter than the process (e.g. one
+        :class:`~repro.serve.PredictionService` per model version) so
+        a fresh instance never reports a predecessor's numbers.
+        """
+        doomed = [name for name in self._instruments if name.startswith(prefix)]
+        for name in doomed:
+            del self._instruments[name]
+        return len(doomed)
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 

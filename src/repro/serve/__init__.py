@@ -1,0 +1,60 @@
+"""Online serving: answer predictive queries as a long-lived service.
+
+The paper's promise is declarative ML *end to end* — and the end is
+not a training log, it is an answered prediction request.  This
+package turns a trained :class:`~repro.pql.planner.TrainedPredictiveModel`
+into an in-process prediction service:
+
+* :mod:`repro.serve.registry` — a versioned **model registry** on
+  disk (``<root>/<name>/v<N>/`` saved-model directories plus a
+  checksummed index), so serving always knows exactly which artifact
+  it is running;
+* :mod:`repro.serve.batcher` — a **micro-batching scheduler**: a
+  bounded request queue whose worker coalesces compatible requests up
+  to ``max_batch_size`` rows or ``max_wait_ms``, executes them as one
+  model call, and resolves responses strictly in submission order;
+* :mod:`repro.serve.service` — :class:`PredictionService`, the
+  programmatic API: admission control (queue-depth fast-reject),
+  per-request deadlines, serve-time graceful degradation (GNN →
+  saved fallback → activity heuristic) when the model breaks its
+  latency budget, and warm subgraph / item-embedding caches shared
+  across requests;
+* :mod:`repro.serve.fallback` — the zero-training activity heuristic
+  that backs the last rung of the serve-time ladder;
+* :mod:`repro.serve.protocol` — the JSON-lines request/response
+  encoding behind ``python -m repro serve``.
+
+Everything is instrumented through :mod:`repro.obs` under ``serve.*``
+(request/reject/expiry counters, queue-wait and execute latency
+histograms, batch-size distribution) and those instruments are reset
+per service instance, so one model version's numbers never leak into
+the next's.
+"""
+
+from repro.serve.batcher import (
+    DeadlineExceededError,
+    MicroBatcher,
+    QueueFullError,
+    ResponseFuture,
+    ServiceClosedError,
+)
+from repro.serve.fallback import ActivityHeuristic
+from repro.serve.protocol import parse_request, serve_loop
+from repro.serve.registry import ModelRegistry, RegistryError, RegistryVersionError
+from repro.serve.service import PredictionService, ServeConfig
+
+__all__ = [
+    "ActivityHeuristic",
+    "DeadlineExceededError",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PredictionService",
+    "QueueFullError",
+    "RegistryError",
+    "RegistryVersionError",
+    "ResponseFuture",
+    "ServeConfig",
+    "ServiceClosedError",
+    "parse_request",
+    "serve_loop",
+]

@@ -1,0 +1,337 @@
+"""The micro-batching scheduler behind :class:`PredictionService`.
+
+One GNN forward over 64 seeds costs far less than 64 forwards over
+one seed — sampling, encoding, and the matmuls all amortize.  The
+batcher exploits that without changing request semantics:
+
+* callers :meth:`~MicroBatcher.submit` requests and receive a
+  :class:`ResponseFuture` immediately (**admission control**: a full
+  queue fast-rejects with :class:`QueueFullError` instead of building
+  unbounded backlog);
+* a single worker thread drains the queue, coalescing consecutive
+  *compatible* requests (same operation, same ``k``) until the batch
+  holds ``max_batch_size`` rows or the oldest request has waited
+  ``max_wait_ms``;
+* the coalesced batch is executed as **one** runner call and each
+  request's slice of the result resolves its future — strictly in
+  submission order, so a pipelined client can match responses to
+  requests positionally;
+* requests carry an optional **deadline**: one that expires while
+  still queued is rejected without executing (the fast path that
+  keeps an overloaded service from doing dead work), and one that
+  expires while its batch is executing resolves to
+  :class:`DeadlineExceededError` rather than delivering a late answer
+  the caller has already abandoned.
+
+Instrumentation (``serve.*`` counters/histograms in the global
+:mod:`repro.obs` registry): ``serve.requests``, ``serve.rows``,
+``serve.rejected``, ``serve.expired``, ``serve.batches``,
+``serve.errors``, plus ``serve.batch_rows``, ``serve.queue_wait_ms``,
+``serve.execute_ms``, and ``serve.latency_ms`` histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.obs import get_logger, get_registry
+from repro.obs import trace as obs_trace
+
+__all__ = [
+    "DeadlineExceededError",
+    "MicroBatcher",
+    "QueueFullError",
+    "ResponseFuture",
+    "ServiceClosedError",
+]
+
+_log = get_logger("serve.batcher")
+
+
+class QueueFullError(RuntimeError):
+    """The request queue is at capacity; the request was not admitted."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before a result could be delivered."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shut down and no longer accepts or answers requests."""
+
+
+class ResponseFuture:
+    """A one-shot, thread-safe slot for a request's eventual response."""
+
+    __slots__ = ("_event", "_value", "_error", "submitted_at", "resolved_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        #: Monotonic seconds at submission (set by the batcher).
+        self.submitted_at: float = 0.0
+        #: Monotonic seconds at resolution (set by the batcher).
+        self.resolved_at: float = 0.0
+
+    def done(self) -> bool:
+        """Whether a value or error has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the response; re-raises the request's failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("response not ready within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def latency_seconds(self) -> float:
+        """Submit→resolve wall time (0.0 until resolved)."""
+        if not self._event.is_set():
+            return 0.0
+        return self.resolved_at - self.submitted_at
+
+    def _finish(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+        self.resolved_at = time.monotonic()
+        self._event.set()
+
+
+@dataclass
+class _Request:
+    """One admitted request, waiting in (or leaving) the queue."""
+
+    op: str                      # "predict" | "rank"
+    entity_keys: np.ndarray
+    cutoffs: np.ndarray          # one prediction time per entity
+    k: int                       # rank only; 0 for predict
+    deadline: Optional[float]    # absolute monotonic seconds, or None
+    future: ResponseFuture = field(default_factory=ResponseFuture)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def compatible(self, other: "_Request") -> bool:
+        """Whether this request can share a model call with ``other``."""
+        return self.op == other.op and self.k == other.k
+
+
+class MicroBatcher:
+    """Bounded queue + worker thread coalescing requests into batches.
+
+    ``runner(op, k, entity_keys, cutoffs)`` receives the concatenated
+    batch and must return something sliceable by row ranges: an array
+    of per-entity values for ``predict``, a list of per-entity
+    ``(item_keys, scores)`` pairs for ``rank``.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[str, int, np.ndarray, np.ndarray], Any],
+        *,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 5.0,
+        max_queue_depth: int = 256,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._runner = runner
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue_depth = int(max_queue_depth)
+        self._queue: Deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, name="serve-batcher", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        op: str,
+        entity_keys: np.ndarray,
+        cutoffs: np.ndarray,
+        *,
+        k: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> ResponseFuture:
+        """Admit one request; returns its future or fast-rejects."""
+        if op not in ("predict", "rank"):
+            raise ValueError(f"op must be 'predict' or 'rank', got {op!r}")
+        entity_keys = np.asarray(entity_keys)
+        cutoffs = np.asarray(cutoffs, dtype=np.int64)
+        if entity_keys.ndim != 1 or cutoffs.shape != entity_keys.shape:
+            raise ValueError(
+                f"entity_keys and cutoffs must be 1-D and equal-length, got "
+                f"{entity_keys.shape} vs {cutoffs.shape}"
+            )
+        if len(entity_keys) == 0:
+            raise ValueError("request must name at least one entity")
+        registry = get_registry()
+        now = time.monotonic()
+        deadline = now + deadline_ms / 1000.0 if deadline_ms is not None else None
+        request = _Request(op=op, entity_keys=entity_keys, cutoffs=cutoffs,
+                           k=int(k), deadline=deadline)
+        request.future.submitted_at = now
+        with self._nonempty:
+            if self._closed:
+                raise ServiceClosedError("service is closed; request not admitted")
+            if len(self._queue) >= self.max_queue_depth:
+                # Fast-reject path: shedding load here costs one exception;
+                # admitting it would cost a model call the caller may never
+                # wait for.
+                registry.counter("serve.rejected").inc()
+                raise QueueFullError(
+                    f"request queue is full ({self.max_queue_depth} pending); retry later"
+                )
+            self._queue.append(request)
+            registry.gauge("serve.queue_depth").set(len(self._queue))
+            self._nonempty.notify()
+        registry.counter("serve.requests").inc()
+        registry.counter("serve.rows").inc(len(entity_keys))
+        return request.future
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop the worker.  ``drain=True`` answers queued requests first;
+        ``drain=False`` rejects them with :class:`ServiceClosedError`."""
+        with self._nonempty:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    self._queue.popleft().future._finish(
+                        error=ServiceClosedError("service closed before execution")
+                    )
+            self._nonempty.notify_all()
+        self._thread.join(timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (excludes the executing batch)."""
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> Optional[List[_Request]]:
+        """Block for the next coalesced batch; None when shut down."""
+        registry = get_registry()
+        with self._nonempty:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._nonempty.wait(0.05)
+            first = self._queue.popleft()
+            batch = [first]
+            rows = len(first.entity_keys)
+            # The coalescing window opens when the oldest request arrived,
+            # not when we got around to it: requests that already waited
+            # out the window while a previous batch executed ship now.
+            window_end = first.future.submitted_at + self.max_wait_ms / 1000.0
+            while rows < self.max_batch_size:
+                if not self._queue:
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._nonempty.wait(remaining)
+                    if not self._queue:
+                        if self._closed:
+                            break
+                        continue
+                head = self._queue[0]
+                if not head.compatible(first):
+                    break  # strict FIFO: never execute around an incompatible head
+                if rows + len(head.entity_keys) > self.max_batch_size and rows > 0:
+                    break
+                batch.append(self._queue.popleft())
+                rows += len(head.entity_keys)
+            registry.gauge("serve.queue_depth").set(len(self._queue))
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            try:
+                self._execute(batch)
+            except BaseException:  # pragma: no cover - worker must never die
+                _log.exception("batch execution failed outside the runner")
+                for request in batch:
+                    if not request.future.done():
+                        request.future._finish(
+                            error=ServiceClosedError("internal batcher failure")
+                        )
+
+    def _execute(self, batch: List[_Request]) -> None:
+        registry = get_registry()
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in batch:
+            if request.expired(now):
+                # Still-queued expiry: reject without paying for the model.
+                registry.counter("serve.expired").inc()
+                request.future._finish(error=DeadlineExceededError(
+                    "deadline expired while queued"
+                ))
+            else:
+                registry.histogram("serve.queue_wait_ms").observe(
+                    (now - request.future.submitted_at) * 1000.0
+                )
+                live.append(request)
+        if not live:
+            return
+        keys = np.concatenate([r.entity_keys for r in live])
+        cutoffs = np.concatenate([r.cutoffs for r in live])
+        registry.counter("serve.batches").inc()
+        registry.histogram("serve.batch_rows").observe(len(keys))
+        start = time.monotonic()
+        try:
+            if obs_trace.enabled():
+                with obs_trace.span("serve.batch") as batch_span:
+                    batch_span.add_counter("serve.batch_rows", len(keys))
+                    results = self._runner(live[0].op, live[0].k, keys, cutoffs)
+            else:
+                results = self._runner(live[0].op, live[0].k, keys, cutoffs)
+        except Exception as err:
+            registry.counter("serve.errors").inc()
+            for request in live:
+                request.future._finish(error=err)
+            return
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        registry.histogram("serve.execute_ms").observe(elapsed_ms)
+        done = time.monotonic()
+        offset = 0
+        for request in live:
+            stop = offset + len(request.entity_keys)
+            if request.expired(done):
+                # Mid-batch expiry: the answer exists but arrived too late
+                # to honor the caller's contract — deliver the error, not
+                # a result the caller has stopped waiting for.
+                registry.counter("serve.expired").inc()
+                request.future._finish(error=DeadlineExceededError(
+                    f"deadline expired during execution ({elapsed_ms:.1f}ms batch)"
+                ))
+            else:
+                request.future._finish(value=results[offset:stop])
+                registry.histogram("serve.latency_ms").observe(
+                    request.future.latency_seconds() * 1000.0
+                )
+            offset = stop

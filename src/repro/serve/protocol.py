@@ -1,0 +1,184 @@
+"""JSON-lines request/response protocol for ``python -m repro serve``.
+
+One request per input line, one response per output line, responses
+**in request order** (so a pipelined client can match positionally or
+by the echoed ``id``).  Requests:
+
+::
+
+    {"op": "predict", "entity_keys": [1017, 1044], "cutoff": 1700000000}
+    {"op": "rank",    "entity_keys": [1017], "cutoff": 1700000000, "k": 5}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Optional fields: ``id`` (any JSON value, echoed back), ``deadline_ms``
+(per-request deadline), per-entity ``cutoff`` arrays.  Responses:
+
+::
+
+    {"id": ..., "status": "ok", "predictions": [0.91, 0.13], "degraded": false}
+    {"id": ..., "status": "ok", "rankings": [{"items": [...], "scores": [...]}], ...}
+    {"id": ..., "status": "error", "error": "queue_full", "message": "..."}
+
+Error kinds: ``bad_request``, ``queue_full``, ``deadline_exceeded``,
+``closed``, ``internal``.  The loop itself never crashes on a bad
+line — malformed JSON is answered with a ``bad_request`` error and the
+stream continues.
+
+Despite reading from a single stream, the loop still micro-batches:
+requests are *submitted* as they are read and a writer thread drains
+responses in order, so a burst of piped lines coalesces in the
+scheduler exactly like concurrent programmatic callers.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.obs import get_logger
+from repro.serve.batcher import (
+    DeadlineExceededError,
+    QueueFullError,
+    ResponseFuture,
+    ServiceClosedError,
+)
+from repro.serve.service import PredictionService
+
+__all__ = ["parse_request", "serve_loop"]
+
+_log = get_logger("serve.protocol")
+
+
+class BadRequestError(ValueError):
+    """The request line is malformed; nothing was submitted."""
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Decode one request line into a validated dict."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise BadRequestError(f"invalid JSON: {err}") from err
+    if not isinstance(request, dict):
+        raise BadRequestError("request must be a JSON object")
+    op = request.get("op")
+    if op not in ("predict", "rank", "stats", "ping"):
+        raise BadRequestError(f"op must be predict|rank|stats|ping, got {op!r}")
+    if op in ("predict", "rank"):
+        keys = request.get("entity_keys")
+        if not isinstance(keys, list) or not keys:
+            raise BadRequestError("entity_keys must be a non-empty list")
+        if "cutoff" not in request:
+            raise BadRequestError("cutoff is required")
+    return request
+
+
+def _error(request_id, kind: str, message: str) -> Dict[str, Any]:
+    return {"id": request_id, "status": "error", "error": kind, "message": message}
+
+
+def _submit(service: PredictionService, request: Dict[str, Any]) -> ResponseFuture:
+    keys = np.asarray(request["entity_keys"])
+    cutoff = request["cutoff"]
+    deadline_ms = request.get("deadline_ms")
+    if request["op"] == "rank":
+        return service.rank_async(keys, cutoff, k=request.get("k"), deadline_ms=deadline_ms)
+    return service.predict_async(keys, cutoff, deadline_ms=deadline_ms)
+
+
+def _render(service: PredictionService, request: Dict[str, Any], value) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "id": request.get("id"),
+        "status": "ok",
+        "degraded": service.degraded,
+    }
+    if request["op"] == "rank":
+        response["rankings"] = [
+            {"items": np.asarray(items).tolist(), "scores": np.asarray(scores).tolist()}
+            for items, scores in value
+        ]
+    else:
+        response["predictions"] = np.asarray(value).tolist()
+    return response
+
+
+def _future_error(request_id, err: BaseException) -> Dict[str, Any]:
+    if isinstance(err, DeadlineExceededError):
+        return _error(request_id, "deadline_exceeded", str(err))
+    if isinstance(err, ServiceClosedError):
+        return _error(request_id, "closed", str(err))
+    return _error(request_id, "internal", f"{type(err).__name__}: {err}")
+
+
+def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int:
+    """Run the JSON-lines loop until EOF; returns requests answered.
+
+    The reader thread (the caller's) submits; a writer thread resolves
+    futures strictly in submission order and emits one response line
+    each, flushing after every line so interactive clients see answers
+    promptly.
+    """
+    pending: "queue.Queue[Optional[Tuple[Dict[str, Any], Any]]]" = queue.Queue()
+    answered = 0
+    lock = threading.Lock()
+
+    def writer() -> None:
+        nonlocal answered
+        while True:
+            item = pending.get()
+            if item is None:
+                return
+            request, payload = item
+            if isinstance(payload, ResponseFuture):
+                try:
+                    response = _render(service, request, payload.result())
+                except BaseException as err:
+                    response = _future_error(request.get("id"), err)
+            else:
+                response = payload  # pre-rendered (stats/ping/errors)
+            stdout.write(json.dumps(response) + "\n")
+            stdout.flush()
+            with lock:
+                answered += 1
+
+    writer_thread = threading.Thread(target=writer, name="serve-writer", daemon=True)
+    writer_thread.start()
+    try:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = parse_request(line)
+            except BadRequestError as err:
+                pending.put(({}, _error(None, "bad_request", str(err))))
+                continue
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "ping":
+                pending.put((request, {"id": request_id, "status": "ok", "pong": True}))
+                continue
+            if op == "stats":
+                pending.put((request, {"id": request_id, "status": "ok",
+                                       "stats": service.stats()}))
+                continue
+            try:
+                future = _submit(service, request)
+            except QueueFullError as err:
+                pending.put((request, _error(request_id, "queue_full", str(err))))
+            except ServiceClosedError as err:
+                pending.put((request, _error(request_id, "closed", str(err))))
+            except (ValueError, KeyError) as err:
+                pending.put((request, _error(request_id, "bad_request", str(err))))
+            else:
+                pending.put((request, future))
+    finally:
+        pending.put(None)
+        writer_thread.join(60.0)
+    with lock:
+        return answered

@@ -1,0 +1,185 @@
+"""A versioned on-disk model registry.
+
+Serving must always know *exactly which* artifact answers requests —
+"the directory I trained into last Tuesday" does not survive
+re-training, rollbacks, or concurrent publishers.  The registry gives
+every published model an immutable version directory plus an index
+with enough provenance to verify and roll back:
+
+::
+
+    <root>/
+      <name>/
+        index.json        # {"latest": 2, "versions": {"1": {...}, "2": {...}}}
+        v1/               # a TrainedPredictiveModel.save() directory
+          manifest.json
+          weights.npz
+        v2/
+          ...
+
+Each index entry records the query text, task type, publication time,
+and the SHA-256 of the saved ``manifest.json``.  ``load`` re-hashes
+the manifest before deserializing anything: a version directory that
+was swapped, edited, or half-restored from backup fails with
+:class:`RegistryVersionError` instead of silently serving the wrong
+model.  All writes go through the resilience layer's atomic helpers,
+so a crashed publish never corrupts the index or an existing version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import get_logger
+from repro.relational.database import Database
+from repro.resilience.checkpoint import atomic_write_json, sha256_file
+
+__all__ = ["ModelRegistry", "RegistryError", "RegistryVersionError"]
+
+_log = get_logger("serve.registry")
+
+MANIFEST_FILE = "manifest.json"
+INDEX_FILE = "index.json"
+
+
+class RegistryError(RuntimeError):
+    """The registry is missing, malformed, or refused an operation."""
+
+
+class RegistryVersionError(RegistryError):
+    """The requested model version is absent or fails verification."""
+
+
+def _version_dir(name_dir: str, version: int) -> str:
+    return os.path.join(name_dir, f"v{int(version)}")
+
+
+class ModelRegistry:
+    """Versioned model artifacts under one root directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Index bookkeeping
+    # ------------------------------------------------------------------
+    def _name_dir(self, name: str) -> str:
+        if not name or os.sep in name or name.startswith("."):
+            raise RegistryError(f"invalid model name {name!r}")
+        return os.path.join(self.root, name)
+
+    def _index_path(self, name: str) -> str:
+        return os.path.join(self._name_dir(name), INDEX_FILE)
+
+    def _read_index(self, name: str) -> Dict[str, Any]:
+        path = self._index_path(name)
+        if not os.path.exists(path):
+            return {"latest": None, "versions": {}}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            raise RegistryError(f"registry index for {name!r} is unreadable: {err}") from err
+
+    def names(self) -> List[str]:
+        """Registered model names, sorted."""
+        found = []
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.exists(os.path.join(self.root, entry, INDEX_FILE)):
+                found.append(entry)
+        return found
+
+    def versions(self, name: str) -> List[int]:
+        """Published versions of ``name``, ascending (empty if none)."""
+        return sorted(int(v) for v in self._read_index(name)["versions"])
+
+    def latest(self, name: str) -> int:
+        """The most recently published version of ``name``."""
+        index = self._read_index(name)
+        if index["latest"] is None:
+            raise RegistryVersionError(f"no published versions of {name!r} under {self.root!r}")
+        return int(index["latest"])
+
+    def describe(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
+        """The index entry for one version (default: latest)."""
+        index = self._read_index(name)
+        resolved = int(version) if version is not None else index["latest"]
+        entry = index["versions"].get(str(resolved)) if resolved is not None else None
+        if entry is None:
+            raise RegistryVersionError(
+                f"model {name!r} has no version {resolved!r} "
+                f"(published: {self.versions(name) or 'none'})"
+            )
+        return dict(entry, version=resolved)
+
+    # ------------------------------------------------------------------
+    # Publish / load
+    # ------------------------------------------------------------------
+    def publish(self, model, name: str) -> int:
+        """Save ``model`` as the next version of ``name``; returns it.
+
+        The model is saved into the version directory with the
+        planner's atomic save, then the index is committed atomically.
+        A crash between the two leaves an orphan ``v<N>`` directory
+        that the index never points to — harmless, and reclaimed by
+        the next publish to the same version number.
+        """
+        name_dir = self._name_dir(name)
+        os.makedirs(name_dir, exist_ok=True)
+        index = self._read_index(name)
+        known = [int(v) for v in index["versions"]]
+        version = (max(known) + 1) if known else 1
+        target = _version_dir(name_dir, version)
+        if os.path.exists(target):  # orphan from a crashed publish
+            shutil.rmtree(target)
+        model.save(target)
+        manifest_sha = sha256_file(os.path.join(target, MANIFEST_FILE))
+        index["versions"][str(version)] = {
+            "query": str(model.binding.query),
+            "task_type": model.task_type.value,
+            "degraded_from": model.degraded_from,
+            "manifest_sha256": manifest_sha,
+            "published_unix": int(time.time()),
+        }
+        index["latest"] = version
+        atomic_write_json(self._index_path(name), index)
+        _log.info(
+            "model published",
+            extra={"model": name, "version": version, "task_type": model.task_type.value},
+        )
+        return version
+
+    def load(self, name: str, db: Database, version: Optional[int] = None):
+        """Reload one version (default: latest) against ``db``.
+
+        Raises :class:`RegistryVersionError` when the version was
+        never published, its directory is gone, or its manifest no
+        longer matches the checksum recorded at publish time.
+        """
+        from repro.pql.planner import TrainedPredictiveModel
+
+        entry = self.describe(name, version)
+        resolved = entry["version"]
+        directory = _version_dir(self._name_dir(name), resolved)
+        manifest_path = os.path.join(directory, MANIFEST_FILE)
+        if not os.path.exists(manifest_path):
+            raise RegistryVersionError(
+                f"{name!r} v{resolved} is in the index but its artifact is missing "
+                f"({manifest_path!r}) — the registry directory is corrupt"
+            )
+        actual = sha256_file(manifest_path)
+        if actual != entry["manifest_sha256"]:
+            raise RegistryVersionError(
+                f"{name!r} v{resolved} failed verification: manifest checksum "
+                f"{actual[:12]}… does not match the index's "
+                f"{entry['manifest_sha256'][:12]}… — the artifact was replaced or "
+                f"corrupted after publish"
+            )
+        model = TrainedPredictiveModel.load(directory, db)
+        _log.info("model loaded", extra={"model": name, "version": resolved})
+        return model

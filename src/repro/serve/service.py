@@ -1,0 +1,310 @@
+""":class:`PredictionService` — the programmatic serving API.
+
+One service instance wraps one model version (loaded directly or from
+a :class:`~repro.serve.registry.ModelRegistry`) and answers
+single-entity and bulk requests through the micro-batching scheduler:
+
+::
+
+    registry = ModelRegistry("models/")
+    service = PredictionService.from_registry(registry, "churn", db)
+    service.warmup()
+    p = service.predict([1017], cutoff)            # blocking, one entity
+    f = service.predict_async(keys, cutoff)        # future, bulk
+    ...
+    f.result()
+    service.close()
+
+Behind ``predict``/``rank`` sits the full serving contract:
+
+* **micro-batching** — concurrent requests coalesce into one batched
+  no-grad model call (bounded by ``max_batch_size`` / ``max_wait_ms``);
+* **admission control** — a bounded queue fast-rejects excess load
+  with :class:`~repro.serve.batcher.QueueFullError`;
+* **deadlines** — per-request ``deadline_ms`` (or the configured
+  default); expiry while queued skips execution, expiry mid-batch
+  resolves to :class:`~repro.serve.batcher.DeadlineExceededError`;
+* **graceful degradation** — when the model path raises, or breaks
+  ``latency_budget_ms`` for ``budget_breaches`` consecutive batches,
+  the service descends to the cheapest rung that still answers: the
+  model's own saved fallback baseline if it has one, else the
+  :class:`~repro.serve.fallback.ActivityHeuristic`.  The switch is
+  recorded (``serve.fallbacks`` counter, ``degraded`` in
+  :meth:`stats`) so monitoring can tell fast-but-crude from healthy;
+* **warm caches** — all requests share the model's subgraph LRU and
+  (for LIST queries) the memoized item-tower embeddings, and
+  :meth:`warmup` primes both before traffic arrives.
+
+A fresh instance starts with clean telemetry: construction drops the
+``serve.*`` instruments and the sampler-cache counters, so numbers
+reported for this model version are this model version's alone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_logger, get_registry
+from repro.pql.ast import TaskType
+from repro.serve.batcher import MicroBatcher, ResponseFuture
+from repro.serve.fallback import ActivityHeuristic
+
+__all__ = ["PredictionService", "ServeConfig"]
+
+_log = get_logger("serve.service")
+
+
+@dataclass
+class ServeConfig:
+    """Serving knobs; the defaults favor latency over maximum batching."""
+
+    #: Most entity rows coalesced into one model call.
+    max_batch_size: int = 64
+    #: How long the oldest queued request may wait for company (ms).
+    max_wait_ms: float = 5.0
+    #: Pending-request ceiling; submissions beyond it fast-reject.
+    max_queue_depth: int = 256
+    #: Deadline applied when a request does not carry its own (ms);
+    #: None = requests without deadlines never expire.
+    default_deadline_ms: Optional[float] = None
+    #: Per-batch model-path latency budget (ms); None disables
+    #: budget-based degradation.
+    latency_budget_ms: Optional[float] = None
+    #: Consecutive budget breaches that trigger degradation.
+    budget_breaches: int = 3
+    #: Whether the service may degrade at all (errors + budget).
+    fallback: bool = True
+    #: Default k for rank requests.
+    default_k: int = 10
+
+
+class PredictionService:
+    """Serve one trained model behind a micro-batching request queue."""
+
+    def __init__(self, model, config: Optional[ServeConfig] = None, name: str = "model") -> None:
+        self.model = model
+        self.config = config or ServeConfig()
+        self.name = name
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._breaches = 0
+        self._state_lock = threading.Lock()
+        self.reset_metrics()
+        entity_type = model.binding.query.entity_table
+        item_type = model.binding.item_table if model.task_type == TaskType.LINK else ""
+        self._heuristic = ActivityHeuristic(model.graph, entity_type, item_type)
+        self._task = "binary" if model.task_type == TaskType.BINARY else "regression"
+        self._batcher = MicroBatcher(
+            self._execute,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+        _log.info(
+            "service started",
+            extra={"service": name, "task_type": model.task_type.value,
+                   "max_batch_size": self.config.max_batch_size,
+                   "max_wait_ms": self.config.max_wait_ms},
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str,
+        db,
+        version: Optional[int] = None,
+        config: Optional[ServeConfig] = None,
+    ) -> "PredictionService":
+        """Load a registry version (default: latest) and serve it."""
+        model = registry.load(name, db, version=version)
+        resolved = version if version is not None else registry.latest(name)
+        return cls(model, config=config, name=f"{name}@v{resolved}")
+
+    # ------------------------------------------------------------------
+    # Telemetry lifecycle
+    # ------------------------------------------------------------------
+    def reset_metrics(self) -> None:
+        """Drop ``serve.*`` instruments and sampler-cache counters.
+
+        Called on construction so a new service instance (typically a
+        new model version) never reports a predecessor's traffic in
+        its own stats/EXPLAIN output.  Cached subgraph *entries* are
+        kept — warmth is worth inheriting, stale counters are not.
+        """
+        registry = get_registry()
+        registry.drop_prefix("serve.")
+        registry.drop_prefix("sampler.cache.")
+        trainer = self.model.node_trainer or self.model.link_trainer
+        cache = getattr(trainer.sampler, "cache", None) if trainer is not None else None
+        if cache is not None:
+            cache.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Request surface
+    # ------------------------------------------------------------------
+    def _cutoff_vector(self, cutoff, count: int) -> np.ndarray:
+        cutoffs = np.asarray(cutoff, dtype=np.int64)
+        if cutoffs.ndim == 0:
+            return np.full(count, int(cutoffs), dtype=np.int64)
+        return cutoffs
+
+    def predict_async(
+        self, entity_keys, cutoff, deadline_ms: Optional[float] = None
+    ) -> ResponseFuture:
+        """Submit a predict request; returns its future immediately."""
+        if self.model.task_type == TaskType.LINK:
+            raise ValueError("predict() is for scalar queries; this model serves rank()")
+        keys = np.asarray(entity_keys)
+        return self._batcher.submit(
+            "predict", keys, self._cutoff_vector(cutoff, len(keys)),
+            deadline_ms=deadline_ms if deadline_ms is not None
+            else self.config.default_deadline_ms,
+        )
+
+    def predict(self, entity_keys, cutoff, deadline_ms: Optional[float] = None) -> np.ndarray:
+        """Blocking predict: P(positive) (binary) or value (regression)."""
+        return self.predict_async(entity_keys, cutoff, deadline_ms).result()
+
+    def rank_async(
+        self, entity_keys, cutoff, k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> ResponseFuture:
+        """Submit a rank request (LIST queries); returns its future."""
+        if self.model.task_type != TaskType.LINK:
+            raise ValueError("rank() is for LIST queries; this model serves predict()")
+        keys = np.asarray(entity_keys)
+        return self._batcher.submit(
+            "rank", keys, self._cutoff_vector(cutoff, len(keys)),
+            k=k if k is not None else self.config.default_k,
+            deadline_ms=deadline_ms if deadline_ms is not None
+            else self.config.default_deadline_ms,
+        )
+
+    def rank(
+        self, entity_keys, cutoff, k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Blocking rank: top-k ``(item_keys, scores)`` per entity."""
+        return self.rank_async(entity_keys, cutoff, k, deadline_ms).result()
+
+    def warmup(self, num_entities: int = 16, cutoff: Optional[int] = None) -> int:
+        """Prime the subgraph and item-embedding caches with one batch.
+
+        Uses the first ``num_entities`` entity keys and the latest
+        graph timestamp unless told otherwise; returns the number of
+        entities warmed.
+        """
+        entity_type = self.model.binding.query.entity_table
+        keys = self.model.graph.node_keys[entity_type][:num_entities]
+        if len(keys) == 0:
+            return 0
+        if cutoff is None:
+            times = self.model.graph.node_times(entity_type)
+            cutoff = int(times.max()) if len(times) else 0
+        if self.model.task_type == TaskType.LINK:
+            self.rank(keys, cutoff)
+        else:
+            self.predict(keys, cutoff)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Execution + degradation ladder
+    # ------------------------------------------------------------------
+    def _model_call(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+        if op == "rank":
+            return self.model.rank_items(keys, cutoffs, k=k)
+        return self.model.predict(keys, cutoffs)
+
+    def _fallback_call(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+        get_registry().counter("serve.degraded_batches").inc()
+        if op == "rank":
+            return self._heuristic.rank(keys, cutoffs, k)
+        return self._heuristic.predict(keys, cutoffs, self._task)
+
+    def _degrade(self, reason: str) -> None:
+        with self._state_lock:
+            if self._degraded:
+                return
+            self._degraded = True
+            self._degraded_reason = reason
+        get_registry().counter("serve.fallbacks").inc()
+        _log.warning("serving degraded to the heuristic rung", extra={"reason": reason})
+
+    def _execute(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+        """The batcher's runner: model path with the ladder underneath."""
+        if self._degraded:
+            return self._fallback_call(op, k, keys, cutoffs)
+        start = time.monotonic()
+        try:
+            result = self._model_call(op, k, keys, cutoffs)
+        except Exception as err:
+            if not self.config.fallback:
+                raise
+            self._degrade(f"model path failed: {type(err).__name__}: {err}")
+            return self._fallback_call(op, k, keys, cutoffs)
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        budget = self.config.latency_budget_ms
+        if budget is not None and self.config.fallback:
+            if elapsed_ms > budget:
+                with self._state_lock:
+                    self._breaches += 1
+                    breaches = self._breaches
+                get_registry().counter("serve.budget_breaches").inc()
+                if breaches >= self.config.budget_breaches:
+                    self._degrade(
+                        f"latency budget broken {breaches}x in a row "
+                        f"(last batch {elapsed_ms:.1f}ms > {budget:.1f}ms)"
+                    )
+            else:
+                with self._state_lock:
+                    self._breaches = 0
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the service has descended to the fallback rung."""
+        return self._degraded
+
+    def restore(self) -> None:
+        """Manually climb back to the model path (operator action)."""
+        with self._state_lock:
+            self._degraded = False
+            self._degraded_reason = None
+            self._breaches = 0
+
+    def stats(self) -> Dict[str, Any]:
+        """Serve metrics + cache stats + degradation state, JSON-ready."""
+        registry = get_registry()
+        metrics = {
+            name: registry.to_dict()[name]
+            for name in registry.names() if name.startswith("serve.")
+        }
+        return {
+            "name": self.name,
+            "task_type": self.model.task_type.value,
+            "degraded": self._degraded,
+            "degraded_reason": self._degraded_reason,
+            "model_degraded_from": self.model.degraded_from,
+            "queue_depth": self._batcher.queue_depth,
+            "metrics": metrics,
+            "sampler_cache": self.model.sampler_cache_stats(),
+        }
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the request queue down (idempotent)."""
+        self._batcher.close(drain=drain)
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

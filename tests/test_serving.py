@@ -1,0 +1,497 @@
+"""Online serving: registry, micro-batcher, service, protocol, CLI.
+
+The deterministic parts (batcher semantics, deadlines, admission
+control) are tested at the :class:`MicroBatcher` level with a
+controllable runner; the integration parts ride a tiny trained model
+shared module-wide. The kill/resume test drives ``python -m repro
+serve`` as a real subprocess, exactly as an operator would.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry
+from repro.pql import PredictiveQueryPlanner
+from repro.serve import (
+    ActivityHeuristic,
+    DeadlineExceededError,
+    MicroBatcher,
+    ModelRegistry,
+    PredictionService,
+    QueueFullError,
+    RegistryVersionError,
+    ServeConfig,
+    ServiceClosedError,
+    serve_loop,
+)
+from tests.conftest import tiny_planner_config
+
+CHURN_QUERY = "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+LIST_QUERY = "PREDICT LIST(orders.product_id) FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+
+
+@pytest.fixture(scope="module")
+def churn_model(small_ecommerce_db, small_ecommerce_split):
+    planner = PredictiveQueryPlanner(
+        small_ecommerce_db, tiny_planner_config(cache_size=64)
+    )
+    return planner.fit(CHURN_QUERY, small_ecommerce_split)
+
+
+@pytest.fixture(scope="module")
+def list_model(small_ecommerce_db, small_ecommerce_split):
+    planner = PredictiveQueryPlanner(
+        small_ecommerce_db, tiny_planner_config(cache_size=64)
+    )
+    return planner.fit(LIST_QUERY, small_ecommerce_split)
+
+
+def entity_keys(model, count):
+    return model.graph.node_keys[model.binding.query.entity_table][:count]
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher semantics (controllable runner, no model)
+# ----------------------------------------------------------------------
+def echo_runner(op, k, keys, cutoffs):
+    return np.asarray(keys, dtype=np.float64) * 2.0
+
+
+def test_batcher_resolves_in_submission_order():
+    batcher = MicroBatcher(echo_runner, max_batch_size=8, max_wait_ms=20.0)
+    try:
+        futures = [
+            batcher.submit("predict", np.array([i]), np.array([0])) for i in range(6)
+        ]
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(timeout=5.0), [i * 2.0])
+    finally:
+        batcher.close()
+
+
+def test_batcher_coalesces_a_burst_into_few_calls():
+    calls = []
+
+    def counting_runner(op, k, keys, cutoffs):
+        calls.append(len(keys))
+        return np.zeros(len(keys))
+
+    batcher = MicroBatcher(counting_runner, max_batch_size=64, max_wait_ms=25.0)
+    try:
+        futures = [
+            batcher.submit("predict", np.array([i]), np.array([0])) for i in range(16)
+        ]
+        for future in futures:
+            future.result(timeout=5.0)
+    finally:
+        batcher.close()
+    assert sum(calls) == 16
+    assert len(calls) < 16, f"no coalescing happened: {calls}"
+
+
+def test_queue_full_fast_rejects():
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocking_runner(op, k, keys, cutoffs):
+        started.set()
+        release.wait(10.0)
+        return np.zeros(len(keys))
+
+    batcher = MicroBatcher(blocking_runner, max_batch_size=1, max_wait_ms=0.0,
+                           max_queue_depth=2)
+    try:
+        first = batcher.submit("predict", np.array([0]), np.array([0]))
+        assert started.wait(5.0), "worker never picked up the first request"
+        queued = [batcher.submit("predict", np.array([i]), np.array([0]))
+                  for i in (1, 2)]
+        with pytest.raises(QueueFullError):
+            batcher.submit("predict", np.array([3]), np.array([0]))
+        release.set()
+        for future in [first] + queued:
+            future.result(timeout=5.0)
+    finally:
+        release.set()
+        batcher.close()
+    rejected = get_registry().to_dict().get("serve.rejected", {})
+    assert rejected.get("value", 0) >= 1
+
+
+def test_deadline_expired_while_queued_skips_execution():
+    release = threading.Event()
+    started = threading.Event()
+    executed_rows = []
+
+    def blocking_runner(op, k, keys, cutoffs):
+        if not started.is_set():
+            started.set()
+            release.wait(10.0)
+        executed_rows.extend(np.asarray(keys).tolist())
+        return np.zeros(len(keys))
+
+    batcher = MicroBatcher(blocking_runner, max_batch_size=1, max_wait_ms=0.0)
+    try:
+        first = batcher.submit("predict", np.array([0]), np.array([0]))
+        assert started.wait(5.0)
+        doomed = batcher.submit("predict", np.array([1]), np.array([0]),
+                                deadline_ms=10.0)
+        time.sleep(0.05)  # let the deadline lapse while still queued
+        release.set()
+        first.result(timeout=5.0)
+        with pytest.raises(DeadlineExceededError, match="queued"):
+            doomed.result(timeout=5.0)
+    finally:
+        release.set()
+        batcher.close()
+    assert 1 not in executed_rows, "expired request was executed anyway"
+
+
+def test_deadline_expiry_mid_batch_delivers_error_not_late_result():
+    def slow_runner(op, k, keys, cutoffs):
+        time.sleep(0.08)
+        return np.zeros(len(keys))
+
+    batcher = MicroBatcher(slow_runner, max_batch_size=4, max_wait_ms=0.0)
+    try:
+        future = batcher.submit("predict", np.array([0]), np.array([0]),
+                                deadline_ms=20.0)
+        with pytest.raises(DeadlineExceededError, match="during execution"):
+            future.result(timeout=5.0)
+    finally:
+        batcher.close()
+
+
+def test_close_without_drain_rejects_queued_requests():
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocking_runner(op, k, keys, cutoffs):
+        started.set()
+        release.wait(10.0)
+        return np.zeros(len(keys))
+
+    batcher = MicroBatcher(blocking_runner, max_batch_size=1, max_wait_ms=0.0)
+    first = batcher.submit("predict", np.array([0]), np.array([0]))
+    assert started.wait(5.0)
+    queued = batcher.submit("predict", np.array([1]), np.array([0]))
+    release.set()
+    batcher.close(drain=False)
+    first.result(timeout=5.0)
+    with pytest.raises(ServiceClosedError):
+        queued.result(timeout=5.0)
+    with pytest.raises(ServiceClosedError):
+        batcher.submit("predict", np.array([2]), np.array([0]))
+
+
+def test_batcher_validates_configuration():
+    with pytest.raises(ValueError):
+        MicroBatcher(echo_runner, max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(echo_runner, max_queue_depth=0)
+    batcher = MicroBatcher(echo_runner)
+    try:
+        with pytest.raises(ValueError):
+            batcher.submit("delete", np.array([1]), np.array([0]))
+        with pytest.raises(ValueError):
+            batcher.submit("predict", np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            batcher.submit("predict", np.array([1, 2]), np.array([0]))
+    finally:
+        batcher.close()
+
+
+# ----------------------------------------------------------------------
+# PredictionService over a real model
+# ----------------------------------------------------------------------
+def test_served_predictions_match_direct_model(churn_model, small_ecommerce_split):
+    keys = entity_keys(churn_model, 12)
+    cutoff = small_ecommerce_split.test_cutoff
+    direct = churn_model.predict(keys, cutoff)
+    with PredictionService(churn_model) as service:
+        served = service.predict(keys, cutoff)
+    np.testing.assert_array_equal(served, direct)
+
+
+def test_single_key_requests_coalesce_and_match(churn_model, small_ecommerce_split):
+    keys = entity_keys(churn_model, 10)
+    cutoff = small_ecommerce_split.test_cutoff
+    direct = churn_model.predict(keys, cutoff)
+    with PredictionService(
+        churn_model, ServeConfig(max_batch_size=64, max_wait_ms=25.0)
+    ) as service:
+        futures = [service.predict_async([key], cutoff) for key in keys.tolist()]
+        served = np.concatenate([f.result(timeout=30.0) for f in futures])
+        batches = service.stats()["metrics"]["serve.batches"]["value"]
+    np.testing.assert_array_equal(served, direct)
+    assert batches < len(keys), "burst of single-key requests never coalesced"
+
+
+def test_op_model_mismatch_is_rejected_at_submission(churn_model, list_model):
+    with PredictionService(churn_model) as service:
+        with pytest.raises(ValueError, match="LIST"):
+            service.rank([1], 0)
+    with PredictionService(list_model) as service:
+        with pytest.raises(ValueError, match="scalar"):
+            service.predict([1], 0)
+
+
+def test_error_degrades_to_heuristic_and_restores(
+    churn_model, small_ecommerce_split, monkeypatch
+):
+    keys = entity_keys(churn_model, 4)
+    cutoff = small_ecommerce_split.test_cutoff
+    monkeypatch.setattr(
+        churn_model, "predict",
+        lambda *a, **kw: (_ for _ in ()).throw(RuntimeError("boom")),
+    )
+    with PredictionService(churn_model) as service:
+        served = service.predict(keys, cutoff)
+        assert service.degraded
+        stats = service.stats()
+        assert stats["degraded_reason"].startswith("model path failed")
+        assert stats["metrics"]["serve.fallbacks"]["value"] == 1
+        heuristic = ActivityHeuristic(
+            churn_model.graph, churn_model.binding.query.entity_table
+        )
+        expected = heuristic.predict(keys, np.full(len(keys), cutoff), "binary")
+        np.testing.assert_array_equal(served, expected)
+        service.restore()
+        assert not service.degraded
+
+
+def test_no_fallback_propagates_model_errors(
+    churn_model, small_ecommerce_split, monkeypatch
+):
+    monkeypatch.setattr(
+        churn_model, "predict",
+        lambda *a, **kw: (_ for _ in ()).throw(RuntimeError("boom")),
+    )
+    with PredictionService(churn_model, ServeConfig(fallback=False)) as service:
+        with pytest.raises(RuntimeError, match="boom"):
+            service.predict(entity_keys(churn_model, 2),
+                            small_ecommerce_split.test_cutoff)
+        assert not service.degraded
+
+
+def test_latency_budget_breach_trips_the_ladder(
+    churn_model, small_ecommerce_split, monkeypatch
+):
+    real_predict = churn_model.predict
+
+    def slow_predict(*args, **kwargs):
+        time.sleep(0.03)
+        return real_predict(*args, **kwargs)
+
+    monkeypatch.setattr(churn_model, "predict", slow_predict)
+    keys = entity_keys(churn_model, 2)
+    cutoff = small_ecommerce_split.test_cutoff
+    config = ServeConfig(max_wait_ms=0.0, latency_budget_ms=1.0, budget_breaches=2)
+    with PredictionService(churn_model, config) as service:
+        service.predict(keys, cutoff)
+        assert not service.degraded  # one breach is not a pattern
+        service.predict(keys, cutoff)
+        assert service.degraded
+        assert service.stats()["metrics"]["serve.budget_breaches"]["value"] == 2
+
+
+def test_metrics_and_cache_stats_reset_between_instances(
+    churn_model, small_ecommerce_split
+):
+    keys = entity_keys(churn_model, 8)
+    cutoff = small_ecommerce_split.test_cutoff
+    with PredictionService(churn_model) as service:
+        service.predict(keys, cutoff)
+        first = service.stats()
+        assert first["metrics"]["serve.requests"]["value"] == 1
+        entries_before = first["sampler_cache"]["entries"]
+        assert entries_before > 0
+    with PredictionService(churn_model) as fresh:
+        stats = fresh.stats()
+        assert "serve.requests" not in stats["metrics"]
+        assert stats["sampler_cache"]["hits"] == 0
+        assert stats["sampler_cache"]["misses"] == 0
+        # Entries survive: warmth is inherited, counters are not.
+        assert stats["sampler_cache"]["entries"] == entries_before
+        fresh.predict(keys, cutoff)
+        assert fresh.stats()["sampler_cache"]["hits"] >= 1
+
+
+def test_concurrent_rank_requests_on_warm_item_cache(
+    list_model, small_ecommerce_split
+):
+    keys = entity_keys(list_model, 6)
+    cutoff = small_ecommerce_split.test_cutoff
+    direct = list_model.rank_items(keys, np.full(len(keys), cutoff), k=5)
+    with PredictionService(
+        list_model, ServeConfig(max_batch_size=16, max_wait_ms=10.0, default_k=5)
+    ) as service:
+        service.warmup(4, cutoff=cutoff)
+        assert list_model.link_trainer._item_embed_cache, "warmup did not prime the item cache"
+        results = [None] * len(keys)
+        errors = []
+
+        def worker(i, key):
+            try:
+                results[i] = service.rank([key], cutoff, k=5)[0]
+            except BaseException as err:  # noqa: BLE001 - surfaced below
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, key))
+            for i, key in enumerate(keys.tolist())
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+    assert not errors, errors
+    for i, (items, scores) in enumerate(direct):
+        np.testing.assert_array_equal(results[i][0], items)
+        np.testing.assert_array_equal(results[i][1], scores)
+
+
+# ----------------------------------------------------------------------
+# Model registry
+# ----------------------------------------------------------------------
+def test_registry_publish_load_roundtrip(
+    churn_model, small_ecommerce_db, small_ecommerce_split, tmp_path
+):
+    registry = ModelRegistry(tmp_path / "models")
+    assert registry.publish(churn_model, "churn") == 1
+    assert registry.publish(churn_model, "churn") == 2
+    assert registry.versions("churn") == [1, 2]
+    assert registry.latest("churn") == 2
+    assert registry.names() == ["churn"]
+    loaded = registry.load("churn", small_ecommerce_db, version=1)
+    keys = entity_keys(churn_model, 6)
+    cutoff = small_ecommerce_split.test_cutoff
+    np.testing.assert_array_equal(
+        loaded.predict(keys, cutoff), churn_model.predict(keys, cutoff)
+    )
+    meta = registry.describe("churn", 1)
+    assert meta["task_type"] == churn_model.task_type.value
+    assert meta["manifest_sha256"]
+
+
+def test_registry_missing_version_raises(churn_model, small_ecommerce_db, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.publish(churn_model, "churn")
+    with pytest.raises(RegistryVersionError):
+        registry.load("churn", small_ecommerce_db, version=99)
+    with pytest.raises(RegistryVersionError):
+        registry.load("nosuch", small_ecommerce_db)
+
+
+def test_registry_detects_tampered_artifact(
+    churn_model, small_ecommerce_db, tmp_path
+):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.publish(churn_model, "churn")
+    manifest = tmp_path / "models" / "churn" / "v1" / "manifest.json"
+    payload = json.loads(manifest.read_text())
+    payload["query"] = "PREDICT COUNT(orders) > 9000 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+    manifest.write_text(json.dumps(payload))
+    with pytest.raises(RegistryVersionError, match="checksum"):
+        registry.load("churn", small_ecommerce_db)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines protocol
+# ----------------------------------------------------------------------
+def test_serve_loop_answers_in_order_and_survives_bad_lines(
+    churn_model, small_ecommerce_split
+):
+    cutoff = int(small_ecommerce_split.test_cutoff)
+    keys = entity_keys(churn_model, 3).tolist()
+    lines = [
+        json.dumps({"op": "ping", "id": "a"}),
+        "this is not json",
+        json.dumps({"op": "predict", "id": "b", "entity_keys": keys, "cutoff": cutoff}),
+        json.dumps({"op": "predict", "id": "c", "entity_keys": []}),
+        json.dumps({"op": "stats", "id": "d"}),
+    ]
+    stdout = io.StringIO()
+    with PredictionService(churn_model) as service:
+        answered = serve_loop(service, io.StringIO("\n".join(lines) + "\n"), stdout)
+        direct = churn_model.predict(np.asarray(keys), cutoff)
+    responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    assert answered == 5
+    assert [r.get("id") for r in responses] == ["a", None, "b", None, "d"]
+    assert responses[0]["pong"] is True
+    assert responses[1]["error"] == "bad_request"
+    np.testing.assert_allclose(responses[2]["predictions"], direct)
+    assert responses[3]["error"] == "bad_request"
+    assert responses[4]["stats"]["metrics"]["serve.requests"]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# The CLI process: kill -9 and restart reaches the same answers
+# ----------------------------------------------------------------------
+SERVE_SCALE = "0.2"
+
+
+def start_serve_process(model_dir):
+    env = dict(os.environ, PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--dataset", "ecommerce", "--scale", SERVE_SCALE, "--seed", "0",
+         "--model", str(model_dir)],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+    for line in proc.stderr:
+        if line.startswith("ready:"):
+            return proc
+    raise AssertionError(
+        f"service never became ready: {proc.stderr.read()}"
+    )
+
+
+def ask(proc, request):
+    proc.stdin.write(json.dumps(request) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    assert line, "service produced no response"
+    return json.loads(line)
+
+
+def test_kill_and_restart_service_process(churn_model, tmp_path):
+    model_dir = tmp_path / "model"
+    churn_model.save(str(model_dir))
+    request = {"op": "predict", "id": 1, "entity_keys": [1, 2, 3],
+               "cutoff": 4102444800}
+
+    proc = start_serve_process(model_dir)
+    try:
+        before = ask(proc, request)
+        assert before["status"] == "ok"
+    finally:
+        proc.kill()  # SIGKILL mid-flight: no graceful shutdown
+        proc.wait(30)
+    assert proc.returncode == -signal.SIGKILL
+
+    # A fresh process over the same artifact gives the same answers —
+    # serving state is all derivable, nothing precious dies with it.
+    proc = start_serve_process(model_dir)
+    try:
+        after = ask(proc, request)
+        stats = ask(proc, {"op": "stats", "id": 2})
+        proc.stdin.close()
+        proc.wait(30)
+    finally:
+        proc.kill()
+    assert after["predictions"] == before["predictions"]
+    # The restarted instance's telemetry starts from zero.
+    assert stats["stats"]["metrics"]["serve.requests"]["value"] == 1

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Documentation lint: dead relative links + CLI flag coverage.
+
+Two checks, both cheap enough to run on every push (the CI
+``docs-check`` job):
+
+1. **Dead links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to an existing file (anchors are
+   stripped; external ``http(s)``/``mailto`` targets are skipped).
+2. **Flag coverage** — every public long flag of the ``repro`` CLI
+   (walked live out of the argparse tree, so the list can never go
+   stale) must be mentioned in at least one document.  A flag nobody
+   documents is a flag nobody finds.
+
+Exit code 0 when clean; 1 with one ``PROBLEM:`` line per finding.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def check_links(files: List[Path]) -> List[str]:
+    problems = []
+    for path in files:
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(_EXTERNAL):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:  # pure in-page anchor
+                continue
+            if not (path.parent / resolved).exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: dead link -> {target}"
+                )
+    return problems
+
+
+def public_flags() -> Dict[str, List[str]]:
+    """Every long option flag per subcommand, straight from argparse."""
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    flags: Dict[str, List[str]] = {}
+    for command, sub in subparsers.choices.items():
+        for action in sub._actions:
+            for option in action.option_strings:
+                if option.startswith("--") and option != "--help":
+                    flags.setdefault(option, []).append(command)
+    return flags
+
+
+def check_flag_coverage(files: List[Path]) -> List[str]:
+    corpus = "\n".join(path.read_text() for path in files)
+    problems = []
+    for flag, commands in sorted(public_flags().items()):
+        if flag not in corpus:
+            problems.append(
+                f"flag {flag} ({'/'.join(sorted(set(commands)))}) is not "
+                f"mentioned in README.md or any docs/*.md"
+            )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = check_links(files) + check_flag_coverage(files)
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    flags = len(public_flags())
+    print(f"docs ok: {len(files)} files link-clean, {flags} CLI flags all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
