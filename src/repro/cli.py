@@ -21,7 +21,15 @@
         Serve a saved model over a JSON-lines request loop (stdin →
         stdout) with micro-batching, admission control, and per-request
         deadlines.  ``--registry ROOT --model-name NAME`` loads from a
-        versioned model registry instead; see docs/serving.md.
+        versioned model registry instead; see docs/serving.md.  Live
+        telemetry (``--trace-sample-rate``, ``--telemetry-window-s``,
+        ``--slo-p99-ms``, ``--stats-json``) is documented in
+        docs/observability.md.
+
+    python -m repro stats SNAPSHOT.json [--format text|json|prometheus]
+        Render a serving telemetry snapshot (written by ``repro serve
+        --stats-json``) as a human table, raw JSON, or Prometheus text
+        format.
 
 Throughput flags (``fit`` / ``query``; see docs/performance.md):
 
@@ -221,7 +229,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--warmup", type=int, default=0, metavar="N",
         help="prime caches with N entities before accepting traffic",
     )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=0.0, metavar="RATE",
+        help="fraction of requests whose full span tree is retained "
+             "(head sampling, deterministic; 0 disables tracing)",
+    )
+    serve.add_argument(
+        "--telemetry-window-s", type=float, default=60.0, metavar="S",
+        help="sliding window for serve.* latency percentiles and SLO budgets",
+    )
+    serve.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="window p99 latency target; breaches record SLO events",
+    )
+    serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable windowed histograms, request tracing, and SLO "
+             "monitoring (lifetime aggregates only)",
+    )
+    serve.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the final telemetry snapshot (stats + health + full "
+             "metrics registry) to PATH on shutdown; render it with "
+             "`repro stats PATH`",
+    )
     add_verbosity(serve)
+
+    stats = sub.add_parser(
+        "stats", help="render a serving telemetry snapshot (from `repro "
+                      "serve --stats-json` or a captured stats response)"
+    )
+    stats.add_argument("snapshot", help="path to the snapshot JSON file")
+    stats.add_argument(
+        "--format", choices=["text", "json", "prometheus"], default="text",
+        help="rendering: human table, raw JSON, or Prometheus text format",
+    )
+    add_verbosity(stats)
     return parser
 
 
@@ -414,6 +457,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.registry and not args.model_name:
         raise SystemExit("--registry requires --model-name")
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        raise SystemExit("--trace-sample-rate must be in [0, 1]")
     _, db = _build_dataset(args)
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
@@ -422,6 +467,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         latency_budget_ms=args.latency_budget_ms,
         fallback=not args.no_fallback,
+        telemetry_enabled=not args.no_telemetry,
+        telemetry_window_s=args.telemetry_window_s,
+        trace_sample_rate=args.trace_sample_rate,
+        slo_p99_ms=args.slo_p99_ms,
     )
     if args.registry:
         registry = ModelRegistry(args.registry)
@@ -441,8 +490,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         answered = serve_loop(service, sys.stdin, sys.stdout)
     finally:
+        if args.stats_json:
+            import json
+
+            from repro.obs.telemetry import stats_document
+
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(stats_document(service), handle, indent=2)
+                handle.write("\n")
+            print(f"telemetry snapshot written to {args.stats_json}",
+                  file=sys.stderr, flush=True)
         service.close()
     print(f"served {answered} requests", file=sys.stderr, flush=True)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.telemetry import render_prometheus, render_stats_text
+
+    with open(args.snapshot, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    elif args.format == "prometheus":
+        print(render_prometheus(document.get("metrics", {})), end="")
+    else:
+        print(render_stats_text(document))
     return 0
 
 
@@ -466,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sql(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -6,13 +6,17 @@ Three complementary instruments, all dependency-free:
   counters; off by default, a true no-op until a ``collect()`` window
   opens.
 * :mod:`repro.obs.metrics` — counters, gauges, and histograms
-  (p50/p95/max summaries) with JSON export.
+  (p50/p95/p99 summaries, configurable percentiles) with JSON export.
 * :mod:`repro.obs.logs` — stdlib-``logging`` structured loggers under
   the ``repro.*`` namespace with one ``configure_logging(verbosity)``
   entry point.
 
 :mod:`repro.obs.report` renders a collected trace as the EXPLAIN
-ANALYZE-style stage tree the CLI prints under ``--profile``.
+ANALYZE-style stage tree the CLI prints under ``--profile``, and
+:mod:`repro.obs.telemetry` layers live-serving telemetry on top:
+sliding-window histograms, per-request tracing with head sampling,
+SLO budget monitoring with provenance events, and Prometheus/JSON
+exposition.
 """
 
 from repro.obs.logs import configure_logging, get_logger
@@ -25,6 +29,16 @@ from repro.obs.metrics import (
     reset_registry,
 )
 from repro.obs.report import render_trace, stage_timings, trace_document, write_trace_json
+from repro.obs.telemetry import (
+    RequestTracer,
+    SLOMonitor,
+    ServingTelemetry,
+    TelemetryConfig,
+    WindowedHistogram,
+    render_prometheus,
+    render_stats_text,
+    stats_document,
+)
 from repro.obs.trace import (
     Span,
     Trace,
@@ -42,8 +56,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestTracer",
+    "SLOMonitor",
+    "ServingTelemetry",
     "Span",
+    "TelemetryConfig",
     "Trace",
+    "WindowedHistogram",
     "add_counter",
     "collect",
     "configure_logging",
@@ -51,12 +70,15 @@ __all__ = [
     "enabled",
     "get_logger",
     "get_registry",
+    "render_prometheus",
+    "render_stats_text",
     "render_trace",
     "reset_registry",
     "span",
     "stage_timings",
     "start_collection",
     "stop_collection",
+    "stats_document",
     "trace_document",
     "write_trace_json",
 ]

@@ -5,8 +5,8 @@ spans answer *where did the time go*, metrics answer *how much work
 happened* — rows scanned, nodes sampled, epoch throughput.
 
 Instruments are cheap enough to keep always-on (a counter increment
-is one dict-free attribute add), but code on per-edge hot paths
-should still accumulate locals and record once per call.
+is one locked attribute add), but code on per-edge hot paths should
+still accumulate locals and record once per call.
 
 ::
 
@@ -15,39 +15,50 @@ should still accumulate locals and record once per call.
     registry.histogram("train.epoch_seconds").observe(0.42)
     json.dumps(registry.to_dict())
 
-A process-global registry is available via :func:`get_registry` /
+Every instrument is **thread-safe**: the serving path mutates the
+registry from the protocol reader, the micro-batcher worker, and the
+response writer concurrently, and no update may be lost.  A
+process-global registry is available via :func:`get_registry` /
 :func:`reset_registry` for code that has no registry handy.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "DEFAULT_PERCENTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "percentile",
     "reset_registry",
 ]
+
+#: Quantiles every histogram reports unless configured otherwise.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
 
 
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready ``{type, value}`` record."""
@@ -64,7 +75,7 @@ class Gauge:
         self.value: Optional[float] = None
 
     def set(self, value: float) -> None:
-        """Overwrite the gauge with ``value``."""
+        """Overwrite the gauge with ``value`` (atomic: one store)."""
         self.value = float(value)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -72,7 +83,7 @@ class Gauge:
         return {"type": "gauge", "value": self.value}
 
 
-def percentile(sorted_values: List[float], q: float) -> float:
+def percentile(sorted_values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile over pre-sorted values.
 
     ``q`` is in [0, 100].  Matches ``numpy.percentile`` with the
@@ -91,44 +102,75 @@ def percentile(sorted_values: List[float], q: float) -> float:
 
 
 class Histogram:
-    """Stores raw observations; summarizes as count/min/mean/p50/p95/max.
+    """Stores raw observations; summarizes as count/min/mean/p*/max.
 
     Raw storage is deliberate: the pipelines being profiled observe
     thousands of values per run, not millions, and exact percentiles
-    beat bucketed approximations for regression hunting.
+    beat bucketed approximations for regression hunting.  Reported
+    quantiles default to p50/p95/p99 and are configurable per
+    instrument (``percentiles=(50, 90, 99.9)``) or per call.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "percentiles", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> None:
         self.name = name
         self.values: List[float] = []
+        self.percentiles: Tuple[float, ...] = tuple(float(q) for q in percentiles)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.values.append(float(value))
+        with self._lock:
+            self.values.append(float(value))
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations in one lock round-trip."""
+        floats = [float(v) for v in values]
+        with self._lock:
+            self.values.extend(floats)
 
     @property
     def count(self) -> int:
         return len(self.values)
 
-    def summary(self) -> Dict[str, float]:
-        """count / min / mean / p50 / p95 / max of everything observed."""
-        if not self.values:
+    def _snapshot(self) -> List[float]:
+        """A consistent copy of the observations under the lock."""
+        with self._lock:
+            return list(self.values)
+
+    def _summarize(
+        self, values: List[float], percentiles: Optional[Sequence[float]] = None
+    ) -> Dict[str, float]:
+        """Summary dict over an explicit value list (shared with subclasses)."""
+        if not values:
             return {"count": 0}
-        ordered = sorted(self.values)
-        return {
+        ordered = sorted(values)
+        quantiles = self.percentiles if percentiles is None else tuple(percentiles)
+        result = {
             "count": len(ordered),
             "min": ordered[0],
             "mean": sum(ordered) / len(ordered),
-            "p50": percentile(ordered, 50.0),
-            "p95": percentile(ordered, 95.0),
-            "max": ordered[-1],
         }
+        for q in quantiles:
+            result[_percentile_key(q)] = percentile(ordered, q)
+        result["max"] = ordered[-1]
+        return result
+
+    def summary(self, percentiles: Optional[Sequence[float]] = None) -> Dict[str, float]:
+        """count / min / mean / configured percentiles / max."""
+        return self._summarize(self._snapshot(), percentiles)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready ``{type, ...summary}`` record."""
         return {"type": "histogram", **self.summary()}
+
+
+def _percentile_key(q: float) -> str:
+    """``50.0 -> "p50"``, ``99.9 -> "p99.9"``."""
+    return f"p{int(q)}" if float(q).is_integer() else f"p{q:g}"
 
 
 class MetricsRegistry:
@@ -136,17 +178,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
-    def _get(self, name: str, cls):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = cls(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(instrument).__name__}"
-            )
-        return instrument
+    def _get(self, name: str, cls, *args, **kwargs):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, *args, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(instrument).__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         """The counter named ``name`` (created on first use)."""
@@ -160,17 +204,41 @@ class MetricsRegistry:
         """The histogram named ``name`` (created on first use)."""
         return self._get(name, Histogram)
 
+    def windowed_histogram(
+        self,
+        name: str,
+        window_seconds: float = 60.0,
+        max_samples: int = 4096,
+    ):
+        """The sliding-window histogram named ``name`` (created on first use).
+
+        Returns a :class:`~repro.obs.telemetry.WindowedHistogram` — a
+        :class:`Histogram` subclass, so later ``histogram(name)``
+        lookups find the same instrument.  Requesting a windowed view
+        of a name already registered as a plain histogram raises.
+        """
+        from repro.obs.telemetry import WindowedHistogram
+
+        return self._get(
+            name, WindowedHistogram,
+            window_seconds=window_seconds, max_samples=max_samples,
+        )
+
     def names(self) -> List[str]:
         """Registered metric names, sorted."""
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def to_dict(self) -> Dict[str, Dict[str, Any]]:
         """JSON-ready ``{name: {type, ...values}}`` export."""
-        return {name: self._instruments[name].to_dict() for name in self.names()}
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].to_dict() for name in sorted(instruments)}
 
     def reset(self) -> None:
         """Drop every instrument."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def drop_prefix(self, prefix: str) -> int:
         """Drop every instrument whose name starts with ``prefix``.
@@ -180,10 +248,11 @@ class MetricsRegistry:
         :class:`~repro.serve.PredictionService` per model version) so
         a fresh instance never reports a predecessor's numbers.
         """
-        doomed = [name for name in self._instruments if name.startswith(prefix)]
-        for name in doomed:
-            del self._instruments[name]
-        return len(doomed)
+        with self._lock:
+            doomed = [name for name in self._instruments if name.startswith(prefix)]
+            for name in doomed:
+                del self._instruments[name]
+            return len(doomed)
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments

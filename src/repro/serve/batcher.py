@@ -23,11 +23,19 @@ batcher exploits that without changing request semantics:
   :class:`DeadlineExceededError` rather than delivering a late answer
   the caller has already abandoned.
 
+Every admitted request is assigned a **request ID** (``req-000001``,
+…) by the :class:`~repro.obs.telemetry.ServingTelemetry` facade; the
+ID survives coalescing (each request keeps its own ID inside the
+shared batch), rides on the :class:`ResponseFuture`, names the request
+in SLO provenance events, and — for head-sampled requests — keys a
+retained per-request span tree that nests the batch's model spans.
+
 Instrumentation (``serve.*`` counters/histograms in the global
 :mod:`repro.obs` registry): ``serve.requests``, ``serve.rows``,
 ``serve.rejected``, ``serve.expired``, ``serve.batches``,
 ``serve.errors``, plus ``serve.batch_rows``, ``serve.queue_wait_ms``,
-``serve.execute_ms``, and ``serve.latency_ms`` histograms.
+``serve.execute_ms``, and ``serve.latency_ms`` histograms (sliding
+windows with streaming p50/p95/p99 when telemetry is enabled).
 """
 
 from __future__ import annotations
@@ -36,12 +44,17 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.obs import get_logger, get_registry
 from repro.obs import trace as obs_trace
+from repro.obs.telemetry import (
+    ServingTelemetry,
+    TelemetryConfig,
+    set_current_request_ids,
+)
 
 __all__ = [
     "DeadlineExceededError",
@@ -69,7 +82,7 @@ class ServiceClosedError(RuntimeError):
 class ResponseFuture:
     """A one-shot, thread-safe slot for a request's eventual response."""
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at", "resolved_at")
+    __slots__ = ("_event", "_value", "_error", "submitted_at", "resolved_at", "request_id")
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -79,6 +92,8 @@ class ResponseFuture:
         self.submitted_at: float = 0.0
         #: Monotonic seconds at resolution (set by the batcher).
         self.resolved_at: float = 0.0
+        #: The request ID assigned at admission (set by the batcher).
+        self.request_id: str = ""
 
     def done(self) -> bool:
         """Whether a value or error has been delivered."""
@@ -114,6 +129,9 @@ class _Request:
     cutoffs: np.ndarray          # one prediction time per entity
     k: int                       # rank only; 0 for predict
     deadline: Optional[float]    # absolute monotonic seconds, or None
+    request_id: str = ""         # assigned at admission
+    sampled: bool = False        # head-sampled for full trace retention
+    queue_wait_ms: float = 0.0   # stamped when the batch forms
     future: ResponseFuture = field(default_factory=ResponseFuture)
 
     def expired(self, now: float) -> bool:
@@ -131,6 +149,10 @@ class MicroBatcher:
     batch and must return something sliceable by row ranges: an array
     of per-entity values for ``predict``, a list of per-entity
     ``(item_keys, scores)`` pairs for ``rank``.
+
+    ``telemetry`` supplies request IDs, head-sampling decisions, and
+    the SLO feed; when omitted a disabled facade is created so every
+    request still gets an ID.
     """
 
     def __init__(
@@ -140,6 +162,7 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_wait_ms: float = 5.0,
         max_queue_depth: int = 256,
+        telemetry: Optional[ServingTelemetry] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -151,6 +174,9 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.max_queue_depth = int(max_queue_depth)
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry(
+            TelemetryConfig(enabled=False)
+        )
         self._queue: Deque[_Request] = deque()
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
@@ -185,9 +211,12 @@ class MicroBatcher:
         registry = get_registry()
         now = time.monotonic()
         deadline = now + deadline_ms / 1000.0 if deadline_ms is not None else None
+        request_id, sampled = self.telemetry.admit()
         request = _Request(op=op, entity_keys=entity_keys, cutoffs=cutoffs,
-                           k=int(k), deadline=deadline)
+                           k=int(k), deadline=deadline,
+                           request_id=request_id, sampled=sampled)
         request.future.submitted_at = now
+        request.future.request_id = request_id
         with self._nonempty:
             if self._closed:
                 raise ServiceClosedError("service is closed; request not admitted")
@@ -280,45 +309,115 @@ class MicroBatcher:
                             error=ServiceClosedError("internal batcher failure")
                         )
 
+    def _record_trace(
+        self,
+        request: _Request,
+        outcome: str,
+        latency_ms: Optional[float] = None,
+        batch: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Retain the per-request span tree for a head-sampled request."""
+        if not request.sampled:
+            return
+        trace: Dict[str, Any] = {
+            "request_id": request.request_id,
+            "op": request.op,
+            "rows": int(len(request.entity_keys)),
+            "outcome": outcome,
+            "queue_wait_ms": round(request.queue_wait_ms, 3),
+        }
+        if latency_ms is not None:
+            trace["latency_ms"] = round(latency_ms, 3)
+        if batch is not None:
+            trace["batch"] = batch
+        self.telemetry.record_trace(trace)
+
+    def _call_runner(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+        """One runner invocation under a ``serve.batch`` span.
+
+        Returns ``(results, error)`` so callers can unwind collection
+        windows before deciding how to resolve the batch.
+        """
+        try:
+            with obs_trace.span("serve.batch") as batch_span:
+                batch_span.add_counter("serve.batch_rows", len(keys))
+                return self._runner(op, k, keys, cutoffs), None
+        except Exception as err:
+            return None, err
+
     def _execute(self, batch: List[_Request]) -> None:
         registry = get_registry()
+        telemetry = self.telemetry
+        # (request_id, latency_ms, ok) for every request this batch
+        # resolves, fed to the SLO window in one call at the end.
+        resolved: List[Tuple[str, float, bool]] = []
         now = time.monotonic()
         live: List[_Request] = []
+        queue_waits: List[float] = []
         for request in batch:
+            wait_ms = (now - request.future.submitted_at) * 1000.0
+            request.queue_wait_ms = wait_ms
             if request.expired(now):
                 # Still-queued expiry: reject without paying for the model.
                 registry.counter("serve.expired").inc()
                 request.future._finish(error=DeadlineExceededError(
                     "deadline expired while queued"
                 ))
+                resolved.append((request.request_id, wait_ms, False))
+                self._record_trace(request, outcome="expired_queued")
             else:
-                registry.histogram("serve.queue_wait_ms").observe(
-                    (now - request.future.submitted_at) * 1000.0
-                )
+                queue_waits.append(wait_ms)
                 live.append(request)
+        if queue_waits:
+            registry.histogram("serve.queue_wait_ms").observe_many(queue_waits)
         if not live:
+            telemetry.on_resolved_batch(resolved)
             return
         keys = np.concatenate([r.entity_keys for r in live])
         cutoffs = np.concatenate([r.cutoffs for r in live])
         registry.counter("serve.batches").inc()
         registry.histogram("serve.batch_rows").observe(len(keys))
+        request_ids = [r.request_id for r in live]
+        batch_spans: Optional[List[Dict[str, Any]]] = None
         start = time.monotonic()
+        set_current_request_ids(request_ids)
         try:
-            if obs_trace.enabled():
-                with obs_trace.span("serve.batch") as batch_span:
-                    batch_span.add_counter("serve.batch_rows", len(keys))
-                    results = self._runner(live[0].op, live[0].k, keys, cutoffs)
+            if any(r.sampled for r in live):
+                # A head-sampled request rides in this batch: capture the
+                # model spans in a thread-private collection window so the
+                # request's retained trace carries the full stage tree.
+                with obs_trace.collect(scope="thread") as batch_trace:
+                    results, error = self._call_runner(live[0].op, live[0].k, keys, cutoffs)
+                batch_spans = batch_trace.to_dict()["spans"]
             else:
-                results = self._runner(live[0].op, live[0].k, keys, cutoffs)
-        except Exception as err:
+                results, error = self._call_runner(live[0].op, live[0].k, keys, cutoffs)
+        finally:
+            set_current_request_ids(())
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        batch_info: Dict[str, Any] = {
+            "rows": int(len(keys)),
+            "requests": len(live),
+            "request_ids": list(request_ids),
+            "execute_ms": round(elapsed_ms, 3),
+        }
+        if batch_spans:
+            batch_info["spans"] = batch_spans
+        if error is not None:
             registry.counter("serve.errors").inc()
             for request in live:
-                request.future._finish(error=err)
+                request.future._finish(error=error)
+                latency_ms = request.future.latency_seconds() * 1000.0
+                resolved.append((request.request_id, latency_ms, False))
+                self._record_trace(
+                    request, outcome=f"error:{type(error).__name__}",
+                    latency_ms=latency_ms, batch=batch_info,
+                )
+            telemetry.on_resolved_batch(resolved)
             return
-        elapsed_ms = (time.monotonic() - start) * 1000.0
         registry.histogram("serve.execute_ms").observe(elapsed_ms)
         done = time.monotonic()
         offset = 0
+        latencies: List[float] = []
         for request in live:
             stop = offset + len(request.entity_keys)
             if request.expired(done):
@@ -329,9 +428,22 @@ class MicroBatcher:
                 request.future._finish(error=DeadlineExceededError(
                     f"deadline expired during execution ({elapsed_ms:.1f}ms batch)"
                 ))
+                latency_ms = request.future.latency_seconds() * 1000.0
+                resolved.append((request.request_id, latency_ms, False))
+                self._record_trace(
+                    request, outcome="expired_mid_batch",
+                    latency_ms=latency_ms, batch=batch_info,
+                )
             else:
                 request.future._finish(value=results[offset:stop])
-                registry.histogram("serve.latency_ms").observe(
-                    request.future.latency_seconds() * 1000.0
-                )
+                latency_ms = request.future.latency_seconds() * 1000.0
+                latencies.append(latency_ms)
+                resolved.append((request.request_id, latency_ms, True))
+                if request.sampled:
+                    self._record_trace(
+                        request, outcome="ok", latency_ms=latency_ms, batch=batch_info,
+                    )
             offset = stop
+        if latencies:
+            registry.histogram("serve.latency_ms").observe_many(latencies)
+        telemetry.on_resolved_batch(resolved)

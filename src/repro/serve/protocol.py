@@ -9,6 +9,8 @@ by the echoed ``id``).  Requests:
     {"op": "predict", "entity_keys": [1017, 1044], "cutoff": 1700000000}
     {"op": "rank",    "entity_keys": [1017], "cutoff": 1700000000, "k": 5}
     {"op": "stats"}
+    {"op": "stats", "format": "prometheus"}
+    {"op": "health"}
     {"op": "ping"}
 
 Optional fields: ``id`` (any JSON value, echoed back), ``deadline_ms``
@@ -19,6 +21,14 @@ Optional fields: ``id`` (any JSON value, echoed back), ``deadline_ms``
     {"id": ..., "status": "ok", "predictions": [0.91, 0.13], "degraded": false}
     {"id": ..., "status": "ok", "rankings": [{"items": [...], "scores": [...]}], ...}
     {"id": ..., "status": "error", "error": "queue_full", "message": "..."}
+
+``stats`` answers the full telemetry snapshot (windowed ``serve.*``
+percentiles, SLO events, sampled request traces) as JSON, or — with
+``"format": "prometheus"`` — the whole metrics registry rendered as
+Prometheus text format in the ``prometheus`` response field.
+``health`` is the cheap probe: degradation state, queue depth, and
+the current SLO window.  Predict/rank responses echo the request ID
+assigned at ingress as ``request_id``.
 
 Error kinds: ``bad_request``, ``queue_full``, ``deadline_exceeded``,
 ``closed``, ``internal``.  The loop itself never crashes on a bad
@@ -41,6 +51,7 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 import numpy as np
 
 from repro.obs import get_logger
+from repro.obs.telemetry import render_prometheus
 from repro.serve.batcher import (
     DeadlineExceededError,
     QueueFullError,
@@ -67,14 +78,20 @@ def parse_request(line: str) -> Dict[str, Any]:
     if not isinstance(request, dict):
         raise BadRequestError("request must be a JSON object")
     op = request.get("op")
-    if op not in ("predict", "rank", "stats", "ping"):
-        raise BadRequestError(f"op must be predict|rank|stats|ping, got {op!r}")
+    if op not in ("predict", "rank", "stats", "health", "ping"):
+        raise BadRequestError(
+            f"op must be predict|rank|stats|health|ping, got {op!r}"
+        )
     if op in ("predict", "rank"):
         keys = request.get("entity_keys")
         if not isinstance(keys, list) or not keys:
             raise BadRequestError("entity_keys must be a non-empty list")
         if "cutoff" not in request:
             raise BadRequestError("cutoff is required")
+    if op == "stats":
+        fmt = request.get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            raise BadRequestError(f"stats format must be json|prometheus, got {fmt!r}")
     return request
 
 
@@ -91,12 +108,17 @@ def _submit(service: PredictionService, request: Dict[str, Any]) -> ResponseFutu
     return service.predict_async(keys, cutoff, deadline_ms=deadline_ms)
 
 
-def _render(service: PredictionService, request: Dict[str, Any], value) -> Dict[str, Any]:
+def _render(
+    service: PredictionService, request: Dict[str, Any], value,
+    future: Optional[ResponseFuture] = None,
+) -> Dict[str, Any]:
     response: Dict[str, Any] = {
         "id": request.get("id"),
         "status": "ok",
         "degraded": service.degraded,
     }
+    if future is not None and future.request_id:
+        response["request_id"] = future.request_id
     if request["op"] == "rank":
         response["rankings"] = [
             {"items": np.asarray(items).tolist(), "scores": np.asarray(scores).tolist()}
@@ -121,7 +143,9 @@ def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int
     The reader thread (the caller's) submits; a writer thread resolves
     futures strictly in submission order and emits one response line
     each, flushing after every line so interactive clients see answers
-    promptly.
+    promptly.  ``stats``/``health`` payloads are rendered by the writer
+    at their in-order turn — not when the line is read — so a piped
+    script's snapshot reflects every request submitted before it.
     """
     pending: "queue.Queue[Optional[Tuple[Dict[str, Any], Any]]]" = queue.Queue()
     answered = 0
@@ -136,11 +160,15 @@ def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int
             request, payload = item
             if isinstance(payload, ResponseFuture):
                 try:
-                    response = _render(service, request, payload.result())
+                    response = _render(service, request, payload.result(), future=payload)
                 except BaseException as err:
                     response = _future_error(request.get("id"), err)
+                    if payload.request_id:
+                        response["request_id"] = payload.request_id
+            elif callable(payload):
+                response = payload()  # lazily rendered (stats/health)
             else:
-                response = payload  # pre-rendered (stats/ping/errors)
+                response = payload  # pre-rendered (ping/errors)
             stdout.write(json.dumps(response) + "\n")
             stdout.flush()
             with lock:
@@ -164,8 +192,17 @@ def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int
                 pending.put((request, {"id": request_id, "status": "ok", "pong": True}))
                 continue
             if op == "stats":
-                pending.put((request, {"id": request_id, "status": "ok",
-                                       "stats": service.stats()}))
+                if request.get("format") == "prometheus":
+                    pending.put((request, lambda rid=request_id: {
+                        "id": rid, "status": "ok",
+                        "prometheus": render_prometheus()}))
+                else:
+                    pending.put((request, lambda rid=request_id: {
+                        "id": rid, "status": "ok", "stats": service.stats()}))
+                continue
+            if op == "health":
+                pending.put((request, lambda rid=request_id: {
+                    "id": rid, "status": "ok", "health": service.health()}))
                 continue
             try:
                 future = _submit(service, request)

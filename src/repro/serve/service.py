@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs import get_logger, get_registry
+from repro.obs.telemetry import ServingTelemetry, TelemetryConfig, current_request_ids
 from repro.pql.ast import TaskType
 from repro.serve.batcher import MicroBatcher, ResponseFuture
 from repro.serve.fallback import ActivityHeuristic
@@ -81,6 +82,30 @@ class ServeConfig:
     fallback: bool = True
     #: Default k for rank requests.
     default_k: int = 10
+    #: Live telemetry master switch: windowed ``serve.*`` histograms,
+    #: request tracing, and SLO monitoring (request IDs are always on).
+    telemetry_enabled: bool = True
+    #: Sliding window for ``serve.*`` histograms and SLO budgets (s).
+    telemetry_window_s: float = 60.0
+    #: Fraction of requests whose full span tree is retained ([0, 1]).
+    trace_sample_rate: float = 0.0
+    #: Ring-buffer capacity for retained per-request traces.
+    trace_capacity: int = 32
+    #: Window p99 target (ms); breaches record SLO events.  None = off.
+    slo_p99_ms: Optional[float] = None
+    #: Window error-rate target ([0, 1]); None = off.
+    slo_error_rate: Optional[float] = None
+
+    def telemetry_config(self) -> TelemetryConfig:
+        """The :class:`TelemetryConfig` slice of this config."""
+        return TelemetryConfig(
+            enabled=self.telemetry_enabled,
+            window_seconds=self.telemetry_window_s,
+            trace_sample_rate=self.trace_sample_rate,
+            trace_capacity=self.trace_capacity,
+            slo_p99_ms=self.slo_p99_ms,
+            slo_error_rate=self.slo_error_rate,
+        )
 
 
 class PredictionService:
@@ -95,6 +120,9 @@ class PredictionService:
         self._breaches = 0
         self._state_lock = threading.Lock()
         self.reset_metrics()
+        # Telemetry registers the windowed serve.* histograms, so it must
+        # come after reset_metrics() dropped the predecessor's instruments.
+        self.telemetry = ServingTelemetry(self.config.telemetry_config())
         entity_type = model.binding.query.entity_table
         item_type = model.binding.item_table if model.task_type == TaskType.LINK else ""
         self._heuristic = ActivityHeuristic(model.graph, entity_type, item_type)
@@ -104,6 +132,7 @@ class PredictionService:
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             max_queue_depth=self.config.max_queue_depth,
+            telemetry=self.telemetry,
         )
         _log.info(
             "service started",
@@ -234,6 +263,12 @@ class PredictionService:
             self._degraded = True
             self._degraded_reason = reason
         get_registry().counter("serve.fallbacks").inc()
+        # Provenance: which requests were in flight when the ladder
+        # engaged — the batcher stamps the executing batch's request IDs
+        # into a thread-local before calling into the model path.
+        self.telemetry.record_event(
+            "degraded", reason, request_ids=current_request_ids()
+        )
         _log.warning("serving degraded to the heuristic rung", extra={"reason": reason})
 
     def _execute(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
@@ -277,16 +312,22 @@ class PredictionService:
     def restore(self) -> None:
         """Manually climb back to the model path (operator action)."""
         with self._state_lock:
+            was_degraded = self._degraded
             self._degraded = False
             self._degraded_reason = None
             self._breaches = 0
+        if was_degraded:
+            self.telemetry.record_event(
+                "restored", "operator restore: climbed back to the model path"
+            )
 
     def stats(self) -> Dict[str, Any]:
-        """Serve metrics + cache stats + degradation state, JSON-ready."""
+        """Serve metrics + cache stats + degradation + telemetry, JSON-ready."""
         registry = get_registry()
+        exported = registry.to_dict()
         metrics = {
-            name: registry.to_dict()[name]
-            for name in registry.names() if name.startswith("serve.")
+            name: record for name, record in exported.items()
+            if name.startswith("serve.")
         }
         return {
             "name": self.name,
@@ -297,6 +338,20 @@ class PredictionService:
             "queue_depth": self._batcher.queue_depth,
             "metrics": metrics,
             "sampler_cache": self.model.sampler_cache_stats(),
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Cheap liveness/degradation probe for load balancers and CLIs."""
+        slo = self.telemetry.slo
+        return {
+            "status": "degraded" if self._degraded else "ok",
+            "name": self.name,
+            "degraded": self._degraded,
+            "degraded_reason": self._degraded_reason,
+            "queue_depth": self._batcher.queue_depth,
+            "slo_breaching": slo.breaching,
+            "window": slo.window(),
         }
 
     def close(self, drain: bool = True) -> None:

@@ -7,10 +7,12 @@ instead of failing the first reader who pastes it.
 
 Covered sources:
 
-* ``docs/tutorial.md``   — all blocks, run sequentially in one shared
-  namespace (the tutorial is one program told in steps);
-* ``README.md``          — the quickstart block, standalone;
-* ``docs/serving.md``    — the serving quickstart block, standalone.
+* ``docs/tutorial.md``       — all blocks, run sequentially in one
+  shared namespace (the tutorial is one program told in steps);
+* ``README.md``              — the quickstart block, standalone;
+* ``docs/serving.md``        — the serving quickstart block, standalone;
+* ``docs/observability.md``  — all blocks (spans, metrics, serving
+  telemetry, logging), run sequentially in one shared namespace.
 
 Blocks that write files do so relative to the current directory, so
 every test runs chdir'd into a tmp dir.
@@ -71,12 +73,21 @@ def test_serving_quickstart_runs(tmp_path, monkeypatch):
     assert (tmp_path / "models" / "churn" / "index.json").exists()
 
 
+def test_observability_snippets_run(tmp_path, monkeypatch):
+    """Span, metrics, serving-telemetry, and logging examples all run."""
+    monkeypatch.chdir(tmp_path)
+    blocks = python_blocks("docs/observability.md")
+    assert len(blocks) >= 4, "observability guide lost its examples"
+    run_blocks("docs/observability.md", blocks)
+
+
 def test_snippet_floor():
     """≥MIN_SNIPPETS snippets are exercised verbatim across the docs."""
     total = (
         len(python_blocks("docs/tutorial.md"))
         + len(python_blocks("README.md")[:1])
         + len(python_blocks("docs/serving.md")[:1])
+        + len(python_blocks("docs/observability.md"))
     )
     assert total >= MIN_SNIPPETS, f"only {total} doc snippets are executed"
 

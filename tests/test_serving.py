@@ -436,6 +436,71 @@ def test_serve_loop_answers_in_order_and_survives_bad_lines(
     assert responses[4]["stats"]["metrics"]["serve.requests"]["value"] == 1
 
 
+def test_serve_loop_stats_and_health_expose_windowed_telemetry(
+    churn_model, small_ecommerce_split
+):
+    cutoff = int(small_ecommerce_split.test_cutoff)
+    keys = entity_keys(churn_model, 2).tolist()
+    lines = [
+        json.dumps({"op": "predict", "id": "p1", "entity_keys": keys[:1],
+                    "cutoff": cutoff}),
+        json.dumps({"op": "predict", "id": "p2", "entity_keys": keys[1:],
+                    "cutoff": cutoff}),
+        json.dumps({"op": "health", "id": "h"}),
+        json.dumps({"op": "stats", "id": "s"}),
+        json.dumps({"op": "stats", "id": "prom", "format": "prometheus"}),
+    ]
+    config = ServeConfig(max_batch_size=4, max_wait_ms=5.0, trace_sample_rate=1.0)
+    stdout = io.StringIO()
+    with PredictionService(churn_model, config) as service:
+        answered = serve_loop(service, io.StringIO("\n".join(lines) + "\n"), stdout)
+    assert answered == 5
+    by_id = {r["id"]: r for r in map(json.loads, stdout.getvalue().splitlines())}
+    # Every admitted request carries a distinct ingress-assigned ID.
+    request_ids = [by_id["p1"]["request_id"], by_id["p2"]["request_id"]]
+    assert len(set(request_ids)) == 2
+    assert all(rid.startswith("req-") for rid in request_ids)
+    health = by_id["h"]["health"]
+    assert health["status"] == "ok" and health["queue_depth"] == 0
+    assert health["slo_breaching"] is False
+    # The stats snapshot reports streaming windowed percentiles.
+    latency = by_id["s"]["stats"]["metrics"]["serve.latency_ms"]
+    assert latency["type"] == "windowed_histogram"
+    assert latency["count"] >= 2
+    assert all(key in latency for key in ("p50", "p95", "p99"))
+    assert latency["window_seconds"] == config.telemetry_window_s
+    # Full tracing retained a span tree for each request.
+    traces = by_id["s"]["stats"]["telemetry"]["traces"]
+    assert {t["request_id"] for t in traces} == set(request_ids)
+    assert all(t["outcome"] == "ok" for t in traces)
+    prometheus = by_id["prom"]["prometheus"]
+    assert 'serve_latency_ms{quantile="0.99"}' in prometheus
+    assert "serve_requests_total 2" in prometheus
+
+
+def test_degradation_records_slo_provenance_with_request_ids(
+    churn_model, small_ecommerce_split, monkeypatch
+):
+    keys = entity_keys(churn_model, 2)
+    cutoff = small_ecommerce_split.test_cutoff
+    monkeypatch.setattr(
+        churn_model, "predict",
+        lambda *a, **kw: (_ for _ in ()).throw(RuntimeError("injected fault")),
+    )
+    with PredictionService(churn_model) as service:
+        service.predict(keys, cutoff)
+        assert service.degraded
+        events = service.telemetry.slo.snapshot()["events"]
+        degraded = [e for e in events if e["kind"] == "degraded"]
+        assert len(degraded) == 1
+        # The provenance event names the fault and the triggering request.
+        assert "injected fault" in degraded[0]["reason"]
+        assert degraded[0]["request_ids"] == ["req-000001"]
+        service.restore()
+        kinds = [e["kind"] for e in service.telemetry.slo.events()]
+        assert kinds[-1] == "restored"
+
+
 # ----------------------------------------------------------------------
 # The CLI process: kill -9 and restart reaches the same answers
 # ----------------------------------------------------------------------

@@ -1,0 +1,534 @@
+"""Tests for :mod:`repro.obs.telemetry` — the live serving telemetry layer.
+
+Covers the windowed histograms (time + capacity eviction with an
+injectable clock), deterministic request-ID assignment and head
+sampling, SLO budget edge-triggering and provenance events, the
+thread-safety contracts of the metrics registry and trace collector,
+request-ID propagation through micro-batch coalescing, and the
+exposition surface (Prometheus text, stats documents, CLI rendering).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.telemetry import (
+    RequestTracer,
+    SLOMonitor,
+    ServingTelemetry,
+    TelemetryConfig,
+    WindowedHistogram,
+    current_request_ids,
+    render_prometheus,
+    render_stats_text,
+    set_current_request_ids,
+    stats_document,
+)
+from repro.serve.batcher import MicroBatcher
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Telemetry writes into the process-global registry; isolate tests."""
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class FakeClock:
+    """Deterministic monotonic clock for window-eviction tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# WindowedHistogram
+# ----------------------------------------------------------------------
+class TestWindowedHistogram:
+    def test_time_eviction_drops_old_samples(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("w", window_seconds=10.0, clock=clock)
+        hist.observe(1.0)
+        hist.observe(2.0)
+        clock.advance(11.0)
+        hist.observe(3.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == 3.0
+        assert summary["total_count"] == 3  # lifetime survives eviction
+        assert summary["window_seconds"] == 10.0
+
+    def test_capacity_cap_splits_batch_chunks(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("w", window_seconds=60.0, max_samples=4, clock=clock)
+        hist.observe_many([1.0, 2.0, 3.0])
+        hist.observe_many([4.0, 5.0, 6.0])
+        # Capacity 4 must split the first three-sample chunk, keeping
+        # its newest value and the whole second chunk.
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 3.0
+        assert summary["max"] == 6.0
+        assert summary["total_count"] == 6
+
+    def test_observe_many_empty_is_noop(self):
+        hist = WindowedHistogram("w")
+        hist.observe_many([])
+        assert hist.summary()["count"] == 0
+        assert hist.total_count == 0
+
+    def test_streaming_percentiles_track_the_window(self):
+        clock = FakeClock()
+        hist = WindowedHistogram("w", window_seconds=5.0, clock=clock)
+        hist.observe_many([100.0] * 10)
+        clock.advance(6.0)  # slow era leaves the window entirely
+        hist.observe_many([1.0] * 10)
+        summary = hist.summary()
+        assert summary["p99"] == 1.0
+        assert summary["count"] == 10
+
+    def test_to_dict_inlines_summary(self):
+        hist = WindowedHistogram("w")
+        hist.observe(5.0)
+        record = hist.to_dict()
+        assert record["type"] == "windowed_histogram"
+        assert record["count"] == 1
+        assert "p99" in record and "window_seconds" in record
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("w", window_seconds=0.0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("w", max_samples=0)
+
+    def test_registry_lookup_is_transparent(self):
+        registry = MetricsRegistry()
+        windowed = registry.windowed_histogram("serve.latency_ms")
+        # Plain histogram lookups land on the same windowed instrument.
+        assert registry.histogram("serve.latency_ms") is windowed
+        registry.histogram("plain")
+        with pytest.raises(TypeError):
+            registry.windowed_histogram("plain")
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles (p99 default + configurability)
+# ----------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_p99_reported_by_default(self):
+        hist = Histogram("h")
+        hist.observe_many(list(range(1, 101)))
+        summary = hist.summary()
+        assert set(summary) >= {"p50", "p95", "p99"}
+        assert summary["p99"] == pytest.approx(np.percentile(range(1, 101), 99))
+
+    def test_custom_percentiles_and_fractional_keys(self):
+        hist = Histogram("h", percentiles=(50.0, 99.9))
+        hist.observe_many(list(range(1000)))
+        summary = hist.summary()
+        assert "p99.9" in summary and "p95" not in summary
+        per_call = hist.summary(percentiles=(10.0,))
+        assert "p10" in per_call and "p99.9" not in per_call
+
+    def test_observe_many_matches_observe(self):
+        one, many = Histogram("a"), Histogram("b")
+        for v in (3.0, 1.0, 2.0):
+            one.observe(v)
+        many.observe_many([3.0, 1.0, 2.0])
+        assert one.summary() == many.summary()
+
+
+# ----------------------------------------------------------------------
+# Thread-safety: registry and trace collector under concurrent mutation
+# ----------------------------------------------------------------------
+class TestConcurrentMutation:
+    def test_registry_loses_no_updates_under_contention(self):
+        registry = MetricsRegistry()
+        threads_n, iterations = 8, 400
+
+        def hammer(worker: int) -> None:
+            for i in range(iterations):
+                registry.counter("hits").inc()
+                registry.counter(f"per.{worker % 4}").inc(2.0)
+                registry.histogram("lat").observe(float(i))
+                registry.gauge("depth").set(float(i))
+                if i % 50 == 0:
+                    registry.to_dict()  # concurrent export must not corrupt
+
+        workers = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(threads_n)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert registry.counter("hits").value == threads_n * iterations
+        assert sum(
+            registry.counter(f"per.{k}").value for k in range(4)
+        ) == threads_n * iterations * 2.0
+        assert registry.histogram("lat").count == threads_n * iterations
+
+    def test_windowed_histogram_concurrent_observes(self):
+        hist = WindowedHistogram("w", window_seconds=3600.0, max_samples=100_000)
+        threads_n, iterations = 6, 300
+
+        def observe() -> None:
+            for i in range(iterations):
+                if i % 2:
+                    hist.observe(float(i))
+                else:
+                    hist.observe_many([float(i), float(i)])
+
+        workers = [threading.Thread(target=observe) for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        expected = threads_n * (iterations // 2 + iterations // 2 * 2)
+        assert hist.total_count == expected
+        assert hist.summary()["count"] == expected
+
+    def test_thread_scoped_trace_windows_stay_private(self):
+        results: dict = {}
+
+        def traced(name: str) -> None:
+            with obs_trace.collect(scope="thread") as trace:
+                with obs_trace.span(f"outer.{name}"):
+                    with obs_trace.span(f"inner.{name}"):
+                        pass
+            results[name] = trace.to_dict()["spans"]
+
+        workers = [
+            threading.Thread(target=traced, args=(f"t{n}",)) for n in range(4)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        for name, spans in results.items():
+            # Each thread sees exactly its own two-span tree, intact.
+            assert [s["name"] for s in spans] == [f"outer.{name}"]
+            assert [c["name"] for c in spans[0]["children"]] == [f"inner.{name}"]
+
+
+# ----------------------------------------------------------------------
+# RequestTracer
+# ----------------------------------------------------------------------
+class TestRequestTracer:
+    def test_sequential_ids(self):
+        tracer = RequestTracer()
+        ids = [tracer.admit()[0] for _ in range(3)]
+        assert ids == ["req-000001", "req-000002", "req-000003"]
+
+    def test_sampling_is_deterministic_error_diffusion(self):
+        tracer = RequestTracer(sample_rate=0.5)
+        decisions = [tracer.admit()[1] for _ in range(6)]
+        assert decisions == [False, True, False, True, False, True]
+        assert tracer.admitted == 6 and tracer.sampled == 3
+
+    def test_rate_one_samples_everything_rate_zero_nothing(self):
+        assert all(RequestTracer(1.0).admit()[1] for _ in range(1))
+        tracer = RequestTracer(1.0)
+        assert [tracer.admit()[1] for _ in range(4)] == [True] * 4
+        tracer = RequestTracer(0.0)
+        assert [tracer.admit()[1] for _ in range(4)] == [False] * 4
+
+    def test_quarter_rate_admits_every_fourth(self):
+        tracer = RequestTracer(sample_rate=0.25)
+        decisions = [tracer.admit()[1] for _ in range(8)]
+        assert decisions == [False, False, False, True] * 2
+
+    def test_trace_ring_buffer_drops_oldest(self):
+        tracer = RequestTracer(capacity=3)
+        for n in range(5):
+            tracer.record({"request_id": f"req-{n:06d}"})
+        retained = [t["request_id"] for t in tracer.traces()]
+        assert retained == ["req-000002", "req-000003", "req-000004"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestTracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            RequestTracer(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# SLOMonitor
+# ----------------------------------------------------------------------
+class TestSLOMonitor:
+    def test_p99_breach_and_recovery_are_edge_triggered(self):
+        clock = FakeClock()
+        slo = SLOMonitor(
+            window_seconds=10.0, p99_target_ms=100.0, check_every=1, clock=clock
+        )
+        for n in range(5):
+            slo.on_request(f"req-{n:06d}", 250.0)
+        assert slo.breaching
+        clock.advance(11.0)  # slow requests age out of the window
+        slo.on_request("req-000006", 5.0)
+        assert not slo.breaching
+        kinds = [e["kind"] for e in slo.events()]
+        assert kinds == ["slo_breach", "slo_recovered"]
+        breach = slo.events()[0]
+        assert "p99" in breach["reason"]
+        # The breach fires on the first slow request and names it.
+        assert "req-000000" in breach["request_ids"]
+
+    def test_error_rate_breach_carries_triggering_ids(self):
+        slo = SLOMonitor(error_rate_target=0.25, check_every=1)
+        slo.on_batch(
+            [("req-000001", 1.0, True), ("req-000002", 1.0, False),
+             ("req-000003", 1.0, False)]
+        )
+        assert slo.breaching
+        event = slo.events()[0]
+        assert event["kind"] == "slo_breach"
+        assert "error rate" in event["reason"]
+        assert event["window"]["errors"] == 2
+        assert "req-000002" in event["request_ids"]
+
+    def test_budget_checks_are_amortized_but_failures_check_immediately(self):
+        clock = FakeClock()
+        slo = SLOMonitor(
+            p99_target_ms=10.0, check_every=10, check_interval_s=1e9, clock=clock
+        )
+        slo.on_request("req-000001", 1.0)  # first feed always evaluates
+        for n in range(2, 11):
+            slo.on_request(f"req-{n:06d}", 500.0)
+        # Nine requests since the last check: the sort hasn't re-run yet.
+        assert not slo.breaching
+        slo.on_request("req-000011", 500.0)  # tenth trips check_every
+        assert slo.breaching
+        # A failed request forces an immediate evaluation regardless.
+        slow = SLOMonitor(
+            error_rate_target=0.1, check_every=10_000, check_interval_s=1e9,
+            clock=clock,
+        )
+        slow.on_request("req-000001", 1.0)
+        slow.on_request("req-000002", 1.0, ok=False)
+        assert slow.breaching
+
+    def test_window_counters_age_out_in_chunks(self):
+        clock = FakeClock()
+        slo = SLOMonitor(window_seconds=10.0, check_every=1, clock=clock)
+        slo.on_batch([("req-000001", 1.0, True), ("req-000002", 1.0, False)])
+        clock.advance(5.0)
+        slo.on_batch([("req-000003", 1.0, True)])
+        window = slo.window()
+        assert window["requests"] == 3 and window["errors"] == 1
+        clock.advance(6.0)  # first chunk expires, second survives
+        window = slo.window()
+        assert window["requests"] == 1 and window["errors"] == 0
+
+    def test_record_event_defaults_to_recent_request_ids(self):
+        slo = SLOMonitor()
+        slo.on_request("req-000007", 3.0)
+        event = slo.record_event("degraded", "model path failed")
+        assert event["request_ids"] == ["req-000007"]
+        explicit = slo.record_event("restored", "healthy", request_ids=["req-000009"])
+        assert explicit["request_ids"] == ["req-000009"]
+        assert [e["seq"] for e in slo.events()] == [1, 2]
+
+    def test_event_log_is_bounded(self):
+        slo = SLOMonitor(max_events=2)
+        for n in range(4):
+            slo.record_event("note", f"event {n}")
+        reasons = [e["reason"] for e in slo.events()]
+        assert reasons == ["event 2", "event 3"]
+
+    def test_shared_latency_histogram_is_not_double_observed(self):
+        shared = WindowedHistogram("serve.latency_ms")
+        slo = SLOMonitor(latency=shared, check_every=1)
+        shared.observe_many([5.0, 6.0])  # the batcher's own observation
+        slo.on_batch([("req-000001", 5.0, True), ("req-000002", 6.0, True)])
+        assert shared.summary()["count"] == 2  # monitor read, didn't re-add
+        assert slo.window()["latency_ms"]["count"] == 2
+
+    def test_snapshot_is_json_ready(self):
+        slo = SLOMonitor(p99_target_ms=50.0, check_every=1)
+        slo.on_request("req-000001", 99.0)
+        snapshot = json.loads(json.dumps(slo.snapshot()))
+        assert snapshot["breaching"] is True
+        assert snapshot["p99_target_ms"] == 50.0
+        assert snapshot["window"]["requests"] == 1
+
+
+# ----------------------------------------------------------------------
+# Request-ID propagation through micro-batch coalescing
+# ----------------------------------------------------------------------
+class TestRequestIdPropagation:
+    def test_coalesced_requests_keep_distinct_ids_and_shared_batch(self):
+        telemetry = ServingTelemetry(
+            TelemetryConfig(enabled=True, trace_sample_rate=1.0, trace_capacity=64)
+        )
+        gate, blocking = threading.Event(), threading.Event()
+        runner_ids: list = []
+
+        def runner(op, k, keys, cutoffs):
+            runner_ids.append(current_request_ids())
+            if keys[0] == -1:
+                blocking.set()
+                gate.wait(10.0)
+            return np.asarray(keys, dtype=float) * 2.0
+
+        batcher = MicroBatcher(
+            runner, max_batch_size=8, max_wait_ms=50.0, telemetry=telemetry
+        )
+        try:
+            # A sacrificial request pins the worker inside the runner so
+            # the next two requests provably coalesce into one batch.
+            sacrifice = batcher.submit("predict", np.array([-1]), np.array([0]))
+            assert blocking.wait(10.0)
+            first = batcher.submit("predict", np.array([10]), np.array([0]))
+            second = batcher.submit("predict", np.array([20, 21]), np.array([0, 0]))
+            gate.set()
+            sacrifice.result(timeout=10.0)
+            assert list(first.result(timeout=10.0)) == [20.0]
+            assert list(second.result(timeout=10.0)) == [40.0, 42.0]
+        finally:
+            gate.set()
+            batcher.close()
+        assert first.request_id == "req-000002"
+        assert second.request_id == "req-000003"
+        # The coalesced batch executed once, carrying both IDs.
+        assert runner_ids[1] == (first.request_id, second.request_id)
+        assert current_request_ids() == ()  # context cleared after batch
+        by_id = {t["request_id"]: t for t in telemetry.traces()}
+        assert set(by_id) == {"req-000001", "req-000002", "req-000003"}
+        trace = by_id[first.request_id]
+        assert trace["outcome"] == "ok"
+        assert trace["batch"]["requests"] == 2
+        assert trace["batch"]["request_ids"] == [
+            first.request_id, second.request_id,
+        ]
+        # The retained trace nests the batch's span tree.
+        assert trace["batch"]["spans"][0]["name"] == "serve.batch"
+        # Both coalesced requests reference the *same* batch record.
+        assert by_id[second.request_id]["batch"]["request_ids"] == (
+            trace["batch"]["request_ids"]
+        )
+
+    def test_batch_context_helpers(self):
+        set_current_request_ids(["req-000001", "req-000002"])
+        assert current_request_ids() == ("req-000001", "req-000002")
+        set_current_request_ids(())
+        assert current_request_ids() == ()
+
+    def test_unsampled_requests_retain_no_trace(self):
+        telemetry = ServingTelemetry(
+            TelemetryConfig(enabled=True, trace_sample_rate=0.0)
+        )
+        batcher = MicroBatcher(
+            lambda op, k, keys, cutoffs: np.zeros(len(keys)),
+            max_wait_ms=0.0, telemetry=telemetry,
+        )
+        try:
+            future = batcher.submit("predict", np.array([1]), np.array([0]))
+            future.result(timeout=10.0)
+        finally:
+            batcher.close()
+        assert future.request_id == "req-000001"
+        assert telemetry.traces() == []
+        # Resolved requests still feed the SLO window.
+        assert telemetry.slo.window()["requests"] == 1
+
+
+# ----------------------------------------------------------------------
+# Exposition: Prometheus text, stats documents, CLI rendering
+# ----------------------------------------------------------------------
+class _StubService:
+    """The minimal surface :func:`stats_document` needs."""
+
+    def __init__(self, telemetry: ServingTelemetry) -> None:
+        self.telemetry = telemetry
+
+    def stats(self):
+        return {"name": "stub-model", "telemetry": self.telemetry.snapshot()}
+
+    def health(self):
+        return {"status": "ok", "name": "stub-model", "degraded_reason": None}
+
+
+class TestExposition:
+    def test_prometheus_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(3)
+        registry.gauge("serve.queue_depth").set(2)
+        registry.gauge("unset.gauge")  # value None: skipped
+        hist = registry.windowed_histogram("serve.latency_ms")
+        hist.observe_many([1.0, 2.0, 3.0, 4.0])
+        text = render_prometheus(registry)
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests_total 3" in text
+        assert "serve_queue_depth 2" in text
+        assert "unset_gauge" not in text
+        assert 'serve_latency_ms{quantile="0.5"}' in text
+        assert 'serve_latency_ms{quantile="0.99"}' in text
+        assert "serve_latency_ms_count 4" in text
+        assert "serve_latency_ms_window_seconds 60" in text
+
+    def test_prometheus_accepts_exported_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        assert render_prometheus(registry.to_dict()) == render_prometheus(registry)
+
+    def test_prometheus_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("1weird-name.x").inc()
+        text = render_prometheus(registry)
+        assert "_1weird_name_x_total 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_stats_document_and_text_rendering(self):
+        telemetry = ServingTelemetry(TelemetryConfig(enabled=True))
+        get_registry().counter("serve.requests").inc(2)
+        telemetry.record_event(
+            "degraded", "model path failed", request_ids=["req-000002"]
+        )
+        telemetry.record_trace(
+            {"request_id": "req-000002", "op": "predict",
+             "outcome": "ok", "latency_ms": 4.2}
+        )
+        service = _StubService(telemetry)
+        document = json.loads(json.dumps(stats_document(service)))
+        assert set(document) == {"generated_at", "service", "health", "metrics"}
+        assert document["metrics"]["serve.requests"]["value"] == 2
+        text = render_stats_text(document)
+        assert "service stub-model: ok" in text
+        assert "serve.requests" in text
+        assert "#1 degraded: model path failed [requests: req-000002]" in text
+        assert "sampled traces (1 retained):" in text
+        assert "req-000002 predict outcome=ok latency=4.200ms" in text
+
+    def test_stats_cli_renders_snapshot(self, tmp_path, capsys):
+        telemetry = ServingTelemetry(TelemetryConfig(enabled=True))
+        get_registry().windowed_histogram("serve.latency_ms").observe(7.0)
+        snapshot = tmp_path / "stats.json"
+        snapshot.write_text(json.dumps(stats_document(_StubService(telemetry))))
+        assert cli.main(["stats", str(snapshot)]) == 0
+        assert "service stub-model: ok" in capsys.readouterr().out
+        assert cli.main(["stats", str(snapshot), "--format", "prometheus"]) == 0
+        assert 'serve_latency_ms{quantile="0.99"}' in capsys.readouterr().out
+        assert cli.main(["stats", str(snapshot), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["health"]["status"] == "ok"
