@@ -10,8 +10,16 @@ for a cold subgraph cache and again for a warm one:
   model call (the no-batching baseline)
 * ``batched-10ms``  — up to 64 rows coalesced inside a 10 ms window:
   the same traffic amortized into ~1/64th as many model calls
+* ``swap-under-load`` — the zero-downtime lifecycle drill: sustained
+  closed-loop traffic from concurrent clients while the service
+  hot-swaps registry versions mid-run and a canary (whose challenger
+  is fault-injected to fail) is forced through its rollback path.
+  The run must answer **every** request — zero failures, zero drops,
+  both versions observed in responses, the canary rolled back — and
+  its warm p99 sits in the same ``--check`` regression gate as the
+  steady-state modes, so a swap that stalls the hot path fails CI.
 
-A third probe measures **telemetry overhead**: the batched mode is
+A further probe measures **telemetry overhead**: the batched mode is
 re-run with live telemetry fully on (every request traced,
 ``trace_sample_rate=1.0``, SLO monitoring armed) and again with
 telemetry disabled; the throughput gap must stay within 5%.
@@ -35,8 +43,12 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import shutil
 import sys
+import tempfile
+import threading
 import time
+from collections import deque
 from dataclasses import replace
 from typing import Dict, List
 
@@ -46,7 +58,8 @@ from repro.datasets import get_dataset
 from repro.eval.splits import make_temporal_split
 from repro.obs import Histogram
 from repro.pql import PlannerConfig, PredictiveQueryPlanner, parse
-from repro.serve import PredictionService, ServeConfig
+from repro.resilience import injected
+from repro.serve import CanaryConfig, ModelRegistry, PredictionService, ServeConfig
 
 REGRESSION_TOLERANCE = 0.30      # fail --check below 70% of baseline throughput
 P99_TOLERANCE = 0.30             # fail --check above 130% of baseline warm p99...
@@ -74,7 +87,7 @@ def train_model(scale: float = 0.3, seed: int = 0):
         cache_size=256, infer_batch_size=64,
     )
     model = PredictiveQueryPlanner(db, config).fit(task.query, split)
-    return model, split
+    return model, split, db
 
 
 def build_requests(model, split, num_requests: int = 192):
@@ -157,6 +170,125 @@ def run_mode(model, mode: str, keys: np.ndarray, cutoff: int) -> Dict:
     finally:
         service.close()
     return {"cold": cold, "warm": warm}
+
+
+LIFECYCLE_CLIENTS = 4  # concurrent closed-loop clients in swap-under-load
+
+
+def run_swap_under_load(model, db, keys: np.ndarray, cutoff: int,
+                        clients: int = LIFECYCLE_CLIENTS) -> Dict:
+    """Sustained traffic with a mid-run hot swap and a forced canary rollback.
+
+    Publishes the model twice into a throwaway registry, serves ``v1``,
+    and pushes ``clients`` closed-loop request streams through it.  A
+    third of the way in, the service hot-swaps to ``v2``; two thirds in,
+    a canary starts against ``v1`` with its shadow seam fault-injected
+    to raise, which must drive the controller through the rollback path
+    while live traffic keeps flowing.  Every request must be answered:
+    a single failed or dropped request — or a missing swap/rollback —
+    fails the run, and the measured warm p50/p99 feed the same
+    regression gate as the steady-state modes.
+    """
+    root = tempfile.mkdtemp(prefix="bench_registry_")
+    service = None
+    try:
+        registry = ModelRegistry(root)
+        registry.publish(model, "bench")  # v1
+        registry.publish(model, "bench")  # v2
+        service = PredictionService.from_registry(
+            registry, "bench", db, version=1, config=MODES["batched-10ms"]
+        )
+        service.warmup()
+        for future in [service.predict_async([key], cutoff)
+                       for key in keys[:64].tolist()]:  # warm the fresh cache
+            future.result(timeout=120.0)
+
+        total = clients * len(keys)
+        answered: deque = deque()   # (latency_ms, model label) per request
+        failures: deque = deque()
+
+        def client() -> None:
+            for key in keys.tolist():
+                try:
+                    future = service.predict_async([key], cutoff)
+                    future.result(timeout=120.0)
+                except Exception as err:
+                    failures.append(f"{type(err).__name__}: {err}")
+                else:
+                    answered.append(
+                        (future.latency_seconds() * 1000.0, future.context.label)
+                    )
+
+        def wait_for(count: int) -> None:
+            while len(answered) + len(failures) < count:
+                time.sleep(0.002)
+
+        threads = [
+            threading.Thread(target=client, name=f"bench-client-{i}")
+            for i in range(clients)
+        ]
+        cpu_start = time.process_time()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        wait_for(total // 3)
+        transition = service.swap(version=2, reason="bench swap-under-load")
+        wait_for(2 * total // 3)
+        # Challenger shadow executions always raise -> error budget (0.0)
+        # breaks on the first shadow -> the controller must roll back.
+        with injected("canary.shadow%1.0:raise"):
+            controller = service.start_canary(
+                version=1,
+                config=CanaryConfig(fraction=1.0, promote_after=10**6,
+                                    max_error_rate=0.0),
+            )
+            for thread in threads:
+                thread.join()
+            spins = 0
+            while controller.state == "running" and spins < 200:
+                # Traffic already drained before a shadow was evaluated;
+                # feed a few more batches (unmeasured) to force the call.
+                service.predict(keys[:4], cutoff)
+                controller.flush(5.0)
+                spins += 1
+        wall = time.perf_counter() - start
+        cpu = time.process_time() - cpu_start
+
+        latency = Histogram("bench.serve.swap_latency_ms", percentiles=(50.0, 99.0))
+        labels = set()
+        for latency_ms, label in answered:
+            latency.observe(latency_ms)
+            labels.add(label)
+        summary = latency.summary()
+        dropped = sum(1 for f in failures if f.startswith("QueueFullError"))
+        failed = len(failures) - dropped
+        rolled_back = controller.state == "rolled_back"
+        zero_downtime = not failures and len(answered) == total
+        return {
+            "clients": clients,
+            "warm": {
+                "requests": len(answered),
+                "wall_seconds": round(wall, 4),
+                "rows_per_sec": round(len(answered) / wall, 1),
+                "cpu_us_per_request": round(cpu / max(len(answered), 1) * 1e6, 2),
+                "latency_p50_ms": round(summary["p50"], 3),
+                "latency_p99_ms": round(summary["p99"], 3),
+            },
+            "swap": {"from": transition["from"], "to": transition["to"]},
+            "versions_served": sorted(labels),
+            "canary": controller.report(),
+            "failed_requests": failed,
+            "dropped_requests": dropped,
+            "zero_downtime": zero_downtime,
+            "passed": (
+                zero_downtime and rolled_back
+                and labels == {"bench@v1", "bench@v2"}
+            ),
+        }
+    finally:
+        if service is not None:
+            service.close()
+        shutil.rmtree(root, ignore_errors=True)
 
 
 TELEMETRY_PROBE_SAMPLE_RATE = 0.1  # representative head-sampling rate
@@ -327,7 +459,7 @@ def run_telemetry_probe(model, keys: np.ndarray, cutoff: int) -> Dict:
 
 
 def run_suite(num_requests: int = 192, scale: float = 0.3) -> Dict:
-    model, split = train_model(scale=scale)
+    model, split, db = train_model(scale=scale)
     keys, cutoff = build_requests(model, split, num_requests=num_requests)
     report: Dict = {
         "workload": {
@@ -341,6 +473,7 @@ def run_suite(num_requests: int = 192, scale: float = 0.3) -> Dict:
     }
     for mode in MODES:
         report["modes"][mode] = run_mode(model, mode, keys, cutoff)
+    report["modes"]["swap-under-load"] = run_swap_under_load(model, db, keys, cutoff)
     report["telemetry"] = run_telemetry_probe(model, keys, cutoff)
     single = report["modes"]["single"]["warm"]["rows_per_sec"]
     batched = report["modes"]["batched-10ms"]["warm"]["rows_per_sec"]
@@ -390,10 +523,18 @@ def main(argv=None) -> int:
     report = run_suite(num_requests=args.num_requests)
     for mode, entry in report["modes"].items():
         for state in ("cold", "warm"):
+            if state not in entry:
+                continue
             stats = entry[state]
-            print(f"{mode:<14} {state:<5} {stats['rows_per_sec']:>8.0f} rows/s"
+            print(f"{mode:<15} {state:<5} {stats['rows_per_sec']:>8.0f} rows/s"
                   f"  p50 {stats['latency_p50_ms']:>7.2f}ms"
                   f"  p99 {stats['latency_p99_ms']:>7.2f}ms")
+    lifecycle = report["modes"]["swap-under-load"]
+    print(f"swap-under-load: {lifecycle['warm']['requests']} requests, "
+          f"{lifecycle['failed_requests']} failed, "
+          f"{lifecycle['dropped_requests']} dropped, "
+          f"served {'+'.join(lifecycle['versions_served'])}, "
+          f"canary {lifecycle['canary']['state']}")
     print(f"batched speedup (warm): {report['acceptance']['batched_speedup_warm']:.2f}x "
           f"(required {ACCEPTANCE_SPEEDUP:.1f}x)")
     probe = report["telemetry"]
@@ -419,6 +560,16 @@ def main(argv=None) -> int:
     if not report["acceptance"]["passed"]:
         print("ACCEPTANCE: batched serving below required speedup", file=sys.stderr)
         return 1
+    if not report["modes"]["swap-under-load"]["passed"]:
+        print(
+            "ACCEPTANCE: swap-under-load was not zero-downtime "
+            f"(failed={lifecycle['failed_requests']} "
+            f"dropped={lifecycle['dropped_requests']} "
+            f"versions={lifecycle['versions_served']} "
+            f"canary={lifecycle['canary']['state']})",
+            file=sys.stderr,
+        )
+        return 1
     if not report["telemetry"]["passed"]:
         print(
             f"ACCEPTANCE: telemetry overhead {report['telemetry']['overhead_pct']:.2f}% "
@@ -433,6 +584,9 @@ def main(argv=None) -> int:
 def test_serving_throughput_acceptance(tmp_path):
     report = run_suite(num_requests=128)
     assert report["acceptance"]["batched_speedup_warm"] >= ACCEPTANCE_SPEEDUP
+    lifecycle = report["modes"]["swap-under-load"]
+    assert lifecycle["passed"], lifecycle
+    assert lifecycle["failed_requests"] == 0 and lifecycle["dropped_requests"] == 0
     out = tmp_path / "BENCH_serving.json"
     with open(out, "w") as handle:
         json.dump(report, handle)

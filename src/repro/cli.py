@@ -21,10 +21,18 @@
         Serve a saved model over a JSON-lines request loop (stdin →
         stdout) with micro-batching, admission control, and per-request
         deadlines.  ``--registry ROOT --model-name NAME`` loads from a
-        versioned model registry instead; see docs/serving.md.  Live
-        telemetry (``--trace-sample-rate``, ``--telemetry-window-s``,
-        ``--slo-p99-ms``, ``--stats-json``) is documented in
-        docs/observability.md.
+        versioned model registry instead and unlocks the lifecycle
+        verbs (``swap``/``canary``/``lifecycle``; defaults via
+        ``--canary-fraction``, ``--promote-after``, ``--rollback-on``);
+        see docs/serving.md.  SIGTERM/SIGINT drain in-flight requests
+        and exit 0.  Live telemetry (``--trace-sample-rate``,
+        ``--telemetry-window-s``, ``--slo-p99-ms``, ``--stats-json``)
+        is documented in docs/observability.md.
+
+    python -m repro registry {list,fsck,publish} --registry ROOT ...
+        Inspect a model registry, verify/repair its consistency
+        (``fsck`` exits 1 when it had to quarantine or repair), or
+        publish a saved model directory as the next version.
 
     python -m repro stats SNAPSHOT.json [--format text|json|prometheus]
         Render a serving telemetry snapshot (written by ``repro serve
@@ -253,7 +261,56 @@ def _build_parser() -> argparse.ArgumentParser:
              "metrics registry) to PATH on shutdown; render it with "
              "`repro stats PATH`",
     )
+    serve.add_argument(
+        "--canary-fraction", type=float, default=0.25, metavar="RATE",
+        help="default fraction of live batches shadowed to a canary "
+             "challenger (wire `canary start` requests may override)",
+    )
+    serve.add_argument(
+        "--promote-after", type=int, default=50, metavar="N",
+        help="shadowed requests with sustained parity before a canary "
+             "challenger is auto-promoted",
+    )
+    serve.add_argument(
+        "--rollback-on", action="append", default=[], metavar="KEY=VALUE",
+        help="canary rollback budget (repeatable): divergence=F (mean "
+             "output divergence), latency-ratio=F (challenger p95 / "
+             "incumbent p95), error-rate=F (shadow-execution errors)",
+    )
     add_verbosity(serve)
+
+    registry_cmd = sub.add_parser(
+        "registry", help="inspect and manage a versioned model registry"
+    )
+    registry_sub = registry_cmd.add_subparsers(dest="registry_command", required=True)
+
+    def add_registry_common(p):
+        p.add_argument("--registry", required=True, metavar="ROOT",
+                       help="model-registry root directory")
+        p.add_argument("--model-name", default=None, metavar="NAME",
+                       help="restrict to one registered model")
+        add_verbosity(p)
+
+    reg_list = registry_sub.add_parser("list", help="list models and versions")
+    add_registry_common(reg_list)
+    reg_fsck = registry_sub.add_parser(
+        "fsck", help="verify (and repair) registry consistency"
+    )
+    add_registry_common(reg_fsck)
+    reg_fsck.add_argument(
+        "--no-checksums", action="store_true",
+        help="structural recovery only; skip per-version checksum verification",
+    )
+    reg_publish = registry_sub.add_parser(
+        "publish", help="publish a saved model directory as the next version"
+    )
+    reg_publish.add_argument("--registry", required=True, metavar="ROOT",
+                             help="model-registry root directory")
+    reg_publish.add_argument("--model-name", required=True, metavar="NAME",
+                             help="registry model name to publish under")
+    reg_publish.add_argument("--model", required=True, metavar="DIR",
+                             help="saved-model directory (`fit --save`)")
+    add_verbosity(reg_publish)
 
     stats = sub.add_parser(
         "stats", help="render a serving telemetry snapshot (from `repro "
@@ -451,6 +508,27 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+_ROLLBACK_KEYS = {
+    "divergence": "canary_max_divergence",
+    "latency-ratio": "canary_max_latency_ratio",
+    "error-rate": "canary_max_error_rate",
+}
+
+
+def _rollback_budgets(items: List[str]) -> dict:
+    """Parse repeated ``--rollback-on KEY=VALUE`` into ServeConfig fields."""
+    budgets = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep or key not in _ROLLBACK_KEYS:
+            raise SystemExit(
+                f"--rollback-on expects KEY=VALUE with KEY in "
+                f"{sorted(_ROLLBACK_KEYS)}, got {item!r}"
+            )
+        budgets[_ROLLBACK_KEYS[key]] = float(value)
+    return budgets
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.pql.planner import TrainedPredictiveModel
     from repro.serve import ModelRegistry, PredictionService, ServeConfig, serve_loop
@@ -459,6 +537,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--registry requires --model-name")
     if not 0.0 <= args.trace_sample_rate <= 1.0:
         raise SystemExit("--trace-sample-rate must be in [0, 1]")
+    if not 0.0 <= args.canary_fraction <= 1.0:
+        raise SystemExit("--canary-fraction must be in [0, 1]")
+    rollback = _rollback_budgets(args.rollback_on)
     _, db = _build_dataset(args)
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
@@ -471,6 +552,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry_window_s=args.telemetry_window_s,
         trace_sample_rate=args.trace_sample_rate,
         slo_p99_ms=args.slo_p99_ms,
+        canary_fraction=args.canary_fraction,
+        canary_promote_after=args.promote_after,
+        **rollback,
     )
     if args.registry:
         registry = ModelRegistry(args.registry)
@@ -483,13 +567,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.warmup:
         warmed = service.warmup(args.warmup)
         _log.info("caches warmed", extra={"entities": warmed})
+    # SIGTERM/SIGINT raise GracefulShutdown *in the main thread* —
+    # Python delivers it out of the blocking stdin read (PEP 475), the
+    # loop stops admitting, the writer drains every in-flight response,
+    # the stats snapshot flushes, and the process exits 0.
+    import signal
+
+    from repro.serve import GracefulShutdown
+
+    def _request_shutdown(signum, frame):
+        raise GracefulShutdown(signal.Signals(signum).name)
+
+    previous_handlers = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous_handlers[sig] = signal.signal(sig, _request_shutdown)
     # The ready line goes to stderr: stdout carries only protocol
     # responses, and subprocess clients wait on this line before
     # sending their first request.
     print(f"ready: {service.name} ({service.model.task_type.value})", file=sys.stderr, flush=True)
     try:
-        answered = serve_loop(service, sys.stdin, sys.stdout)
+        try:
+            answered = serve_loop(service, sys.stdin, sys.stdout)
+        except GracefulShutdown:
+            # The signal landed outside the read loop (e.g. between
+            # lines); everything submitted has already been answered.
+            answered = -1
     finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
         if args.stats_json:
             import json
 
@@ -501,8 +606,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"telemetry snapshot written to {args.stats_json}",
                   file=sys.stderr, flush=True)
         service.close()
-    print(f"served {answered} requests", file=sys.stderr, flush=True)
+    if answered >= 0:
+        print(f"served {answered} requests", file=sys.stderr, flush=True)
+    else:
+        print("drained and shut down gracefully", file=sys.stderr, flush=True)
     return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ModelRegistry, RegistryError
+
+    try:
+        registry = ModelRegistry(args.registry)
+        if args.registry_command == "publish":
+            version = registry.publish_dir(args.model, args.model_name)
+            print(f"published {args.model} as {args.model_name} v{version}")
+            return 0
+        if args.registry_command == "fsck":
+            report = registry.fsck(
+                name=args.model_name, verify_checksums=not args.no_checksums
+            )
+            print(json.dumps(report, indent=2))
+            return 0 if report["clean"] else 1
+        # list
+        names = [args.model_name] if args.model_name else registry.names()
+        if not names:
+            print(f"registry {args.registry} has no published models")
+            return 0
+        for name in names:
+            latest = None
+            versions = registry.versions(name)
+            if versions:
+                latest = registry.latest(name)
+            print(f"{name}: latest=v{latest}" if latest is not None
+                  else f"{name}: no published versions")
+            for version in versions:
+                entry = registry.describe(name, version)
+                marker = "*" if version == latest else " "
+                print(
+                    f"  {marker} v{version}  {entry.get('task_type', '?'):<12} "
+                    f"sha {entry['manifest_sha256'][:12]}  {entry.get('query', '')}"
+                )
+        return 0
+    except RegistryError as err:
+        print(f"registry error: {err}", file=sys.stderr)
+        return 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -541,6 +691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sql(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     if args.command == "stats":
         return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -386,9 +386,16 @@ class SLOMonitor:
             self.record_event("slo_recovered", "window back inside budget")
 
     def record_event(
-        self, kind: str, reason: str, request_ids: Sequence[str] = ()
+        self, kind: str, reason: str, request_ids: Sequence[str] = (),
+        **extra: Any,
     ) -> Dict[str, Any]:
-        """Append a provenance event; defaults to the recent request IDs."""
+        """Append a provenance event; defaults to the recent request IDs.
+
+        ``extra`` keyword fields are merged into the event dict — the
+        model lifecycle uses them to attach swap/canary provenance
+        (versions, comparison windows) without the monitor having to
+        know those schemas.
+        """
         with self._lock:
             ids = list(request_ids) if request_ids else list(self._recent_ids)
             self._event_seq += 1
@@ -400,6 +407,7 @@ class SLOMonitor:
             "reason": reason,
             "request_ids": ids,
             "window": self.window(),
+            **extra,
         }
         with self._lock:
             self._events.append(event)
@@ -535,10 +543,11 @@ class ServingTelemetry:
             self.slo.on_batch(resolved)
 
     def record_event(
-        self, kind: str, reason: str, request_ids: Sequence[str] = ()
+        self, kind: str, reason: str, request_ids: Sequence[str] = (),
+        **extra: Any,
     ) -> Dict[str, Any]:
-        """Record a provenance event (degraded/restored/...)."""
-        return self.slo.record_event(kind, reason, request_ids=request_ids)
+        """Record a provenance event (degraded/restored/swapped/canary_*)."""
+        return self.slo.record_event(kind, reason, request_ids=request_ids, **extra)
 
     def traces(self) -> List[Dict[str, Any]]:
         """Retained per-request span trees, oldest first."""

@@ -40,6 +40,7 @@ from repro.resilience.faults import (
     InjectedFault,
     SimulatedCrash,
     corrupt_value,
+    fault_file,
     fault_point,
     get_injector,
     injected,
@@ -92,6 +93,7 @@ __all__ = [
     "atomic_write_json",
     "atomic_write_npz",
     "corrupt_value",
+    "fault_file",
     "fault_point",
     "fit_fallback",
     "get_injector",

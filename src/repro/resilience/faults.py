@@ -26,7 +26,13 @@ Actions:
 * ``kill``  — raise :class:`SimulatedCrash`, modelling a hard process
   death: retry policies do **not** catch it;
 * ``nan``   — corrupt a value instead of raising; only sites that call
-  :func:`corrupt_value` honor it (e.g. ``trainer.loss``).
+  :func:`corrupt_value` honor it (e.g. ``trainer.loss``);
+* ``delay`` — sleep ``REPRO_FAULTS_DELAY_MS`` milliseconds (default
+  50) at the site instead of raising.  This widens crash windows so an
+  external supervisor can land a *real* ``kill -9`` inside a specific
+  stage (the SIGKILL-mid-publish chaos test does exactly that);
+* ``corrupt`` — flip bytes in a file; only sites that call
+  :func:`fault_file` honor it (e.g. the registry's publish stages).
 
 Injection is **off by default**: no injector installed means every
 fault point costs one global read and a ``None`` check.
@@ -35,6 +41,7 @@ fault point costs one global read and a ``None`` check.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -46,6 +53,7 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "fault_point",
+    "fault_file",
     "corrupt_value",
     "get_injector",
     "install",
@@ -53,8 +61,9 @@ __all__ = [
     "injected",
 ]
 
-_ACTIONS = ("raise", "kill", "nan")
+_ACTIONS = ("raise", "kill", "nan", "delay", "corrupt")
 _ENV_VAR = "REPRO_FAULTS"
+_DEFAULT_DELAY_MS = 50.0
 
 
 class InjectedFault(RuntimeError):
@@ -134,20 +143,27 @@ class FaultInjector:
     2 every time, on every machine.
     """
 
-    def __init__(self, specs: List[FaultSpec], seed: int = 0) -> None:
+    def __init__(
+        self, specs: List[FaultSpec], seed: int = 0,
+        delay_ms: float = _DEFAULT_DELAY_MS,
+    ) -> None:
         self.specs = list(specs)
         self._sites: Dict[str, _SiteState] = {}
         for spec in self.specs:
             self._sites.setdefault(spec.site, _SiteState()).specs.append(spec)
         self._rng = np.random.default_rng(seed)
+        #: How long a ``delay`` action sleeps at its site.
+        self.delay_ms = float(delay_ms)
         #: (site, call_index, action) triples of every fired fault.
         self.fired: List[tuple] = []
 
     @classmethod
-    def from_specs(cls, text: str, seed: int = 0) -> "FaultInjector":
+    def from_specs(
+        cls, text: str, seed: int = 0, delay_ms: float = _DEFAULT_DELAY_MS,
+    ) -> "FaultInjector":
         """Build from a comma-separated spec string."""
         specs = [FaultSpec.parse(part) for part in text.split(",") if part.strip()]
-        return cls(specs, seed=seed)
+        return cls(specs, seed=seed, delay_ms=delay_ms)
 
     @classmethod
     def from_env(cls, environ=None) -> Optional["FaultInjector"]:
@@ -157,7 +173,8 @@ class FaultInjector:
         if not text:
             return None
         seed = int(environ.get(f"{_ENV_VAR}_SEED", "0"))
-        return cls.from_specs(text, seed=seed)
+        delay_ms = float(environ.get(f"{_ENV_VAR}_DELAY_MS", str(_DEFAULT_DELAY_MS)))
+        return cls.from_specs(text, seed=seed, delay_ms=delay_ms)
 
     def check(self, site: str) -> Optional[str]:
         """Count one call to ``site``; return the action to apply, or None."""
@@ -201,26 +218,32 @@ def uninstall() -> None:
     install(None)
 
 
-def fault_point(site: str) -> None:
-    """Raise here if the installed injector schedules a fault.
-
-    ``nan`` actions are ignored at plain fault points — they only make
-    sense at value sites (see :func:`corrupt_value`).
-    """
-    injector = _injector
-    if injector is None:
-        return
-    action = injector.check(site)
+def _apply(site: str, injector: FaultInjector, action: Optional[str]) -> None:
     if action == "raise":
         raise InjectedFault(site, injector.calls_to(site))
     if action == "kill":
         raise SimulatedCrash(site, injector.calls_to(site))
+    if action == "delay":
+        time.sleep(injector.delay_ms / 1000.0)
+
+
+def fault_point(site: str) -> None:
+    """Raise (or delay) here if the installed injector schedules a fault.
+
+    ``nan``/``corrupt`` actions are ignored at plain fault points —
+    they only make sense at value sites (:func:`corrupt_value`) and
+    file sites (:func:`fault_file`).
+    """
+    injector = _injector
+    if injector is None:
+        return
+    _apply(site, injector, injector.check(site))
 
 
 def corrupt_value(site: str, value: float) -> float:
     """Return ``value``, or NaN when a ``nan`` fault fires at ``site``.
 
-    ``raise``/``kill`` actions at value sites raise as usual.
+    ``raise``/``kill``/``delay`` actions at value sites apply as usual.
     """
     injector = _injector
     if injector is None:
@@ -228,18 +251,45 @@ def corrupt_value(site: str, value: float) -> float:
     action = injector.check(site)
     if action == "nan":
         return float("nan")
-    if action == "raise":
-        raise InjectedFault(site, injector.calls_to(site))
-    if action == "kill":
-        raise SimulatedCrash(site, injector.calls_to(site))
+    _apply(site, injector, action)
     return value
+
+
+def fault_file(site: str, path: str) -> None:
+    """Raise, delay, or corrupt the file at ``path`` when a fault fires.
+
+    A ``corrupt`` action flips the file's first byte and appends
+    garbage, modelling torn writes and bit rot; integrity machinery
+    downstream (checksums, fsck) must catch it.  Missing files are
+    corrupted by creation — a corrupt site must never mask itself.
+    """
+    injector = _injector
+    if injector is None:
+        return
+    action = injector.check(site)
+    if action == "corrupt":
+        try:
+            with open(path, "r+b") as handle:
+                first = handle.read(1)
+                if first:
+                    handle.seek(0)
+                    handle.write(bytes([first[0] ^ 0xFF]))
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\x00corrupted-by-fault-injection")
+        except FileNotFoundError:
+            with open(path, "wb") as handle:
+                handle.write(b"\x00corrupted-by-fault-injection")
+        return
+    _apply(site, injector, action)
 
 
 class injected:
     """``with injected("trainer.epoch@2:kill"):`` — scoped installation."""
 
-    def __init__(self, specs: str, seed: int = 0) -> None:
-        self._injector = FaultInjector.from_specs(specs, seed=seed)
+    def __init__(
+        self, specs: str, seed: int = 0, delay_ms: float = _DEFAULT_DELAY_MS,
+    ) -> None:
+        self._injector = FaultInjector.from_specs(specs, seed=seed, delay_ms=delay_ms)
 
     def __enter__(self) -> FaultInjector:
         if _injector is not None:

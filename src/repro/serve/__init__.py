@@ -5,10 +5,11 @@ not a training log, it is an answered prediction request.  This
 package turns a trained :class:`~repro.pql.planner.TrainedPredictiveModel`
 into an in-process prediction service:
 
-* :mod:`repro.serve.registry` — a versioned **model registry** on
-  disk (``<root>/<name>/v<N>/`` saved-model directories plus a
-  checksummed index), so serving always knows exactly which artifact
-  it is running;
+* :mod:`repro.serve.registry` — a versioned, **transactional** model
+  registry on disk (``<root>/<name>/v<N>/`` saved-model directories
+  plus a checksummed index committed atomically), with crash recovery
+  and ``fsck`` — a publish killed at any point leaves the registry
+  consistent;
 * :mod:`repro.serve.batcher` — a **micro-batching scheduler**: a
   bounded request queue whose worker coalesces compatible requests up
   to ``max_batch_size`` rows or ``max_wait_ms``, executes them as one
@@ -17,12 +18,17 @@ into an in-process prediction service:
   programmatic API: admission control (queue-depth fast-reject),
   per-request deadlines, serve-time graceful degradation (GNN →
   saved fallback → activity heuristic) when the model breaks its
-  latency budget, and warm subgraph / item-embedding caches shared
-  across requests;
+  latency budget, **zero-downtime hot swap** between registry
+  versions, and warm subgraph / item-embedding caches shared across
+  requests;
+* :mod:`repro.serve.canary` — :class:`CanaryController`, shadowing a
+  fraction of live traffic to a challenger model and auto-promoting
+  on sustained parity / rolling back on regression;
 * :mod:`repro.serve.fallback` — the zero-training activity heuristic
   that backs the last rung of the serve-time ladder;
 * :mod:`repro.serve.protocol` — the JSON-lines request/response
-  encoding behind ``python -m repro serve``.
+  encoding behind ``python -m repro serve``, including the ``swap`` /
+  ``canary`` / ``lifecycle`` management verbs.
 
 Everything is instrumented through :mod:`repro.obs` under ``serve.*``
 (request/reject/expiry counters, queue-wait and execute latency
@@ -44,14 +50,18 @@ from repro.serve.batcher import (
     ResponseFuture,
     ServiceClosedError,
 )
+from repro.serve.canary import CanaryConfig, CanaryController
 from repro.serve.fallback import ActivityHeuristic
-from repro.serve.protocol import parse_request, serve_loop
+from repro.serve.protocol import GracefulShutdown, parse_request, serve_loop
 from repro.serve.registry import ModelRegistry, RegistryError, RegistryVersionError
 from repro.serve.service import PredictionService, ServeConfig
 
 __all__ = [
     "ActivityHeuristic",
+    "CanaryConfig",
+    "CanaryController",
     "DeadlineExceededError",
+    "GracefulShutdown",
     "MicroBatcher",
     "ModelRegistry",
     "PredictionService",

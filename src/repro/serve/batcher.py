@@ -9,9 +9,9 @@ batcher exploits that without changing request semantics:
   queue fast-rejects with :class:`QueueFullError` instead of building
   unbounded backlog);
 * a single worker thread drains the queue, coalescing consecutive
-  *compatible* requests (same operation, same ``k``) until the batch
-  holds ``max_batch_size`` rows or the oldest request has waited
-  ``max_wait_ms``;
+  *compatible* requests (same operation, same ``k``, same admission
+  **context**) until the batch holds ``max_batch_size`` rows or the
+  oldest request has waited ``max_wait_ms``;
 * the coalesced batch is executed as **one** runner call and each
   request's slice of the result resolves its future — strictly in
   submission order, so a pipelined client can match responses to
@@ -21,7 +21,15 @@ batcher exploits that without changing request semantics:
   keeps an overloaded service from doing dead work), and one that
   expires while its batch is executing resolves to
   :class:`DeadlineExceededError` rather than delivering a late answer
-  the caller has already abandoned.
+  the caller has already abandoned;
+* each request may carry an opaque **context** object captured at
+  admission (the service passes its live model slot).  Contexts are
+  compared *by identity* when coalescing — two requests admitted under
+  different contexts never share a batch — and the runner receives the
+  batch's context as its final argument.  This is what makes hot
+  swapping a model safe: a swap replaces the slot between batches, and
+  every in-flight request still executes against the exact model it
+  was admitted under.
 
 Every admitted request is assigned a **request ID** (``req-000001``,
 …) by the :class:`~repro.obs.telemetry.ServingTelemetry` facade; the
@@ -82,7 +90,10 @@ class ServiceClosedError(RuntimeError):
 class ResponseFuture:
     """A one-shot, thread-safe slot for a request's eventual response."""
 
-    __slots__ = ("_event", "_value", "_error", "submitted_at", "resolved_at", "request_id")
+    __slots__ = (
+        "_event", "_value", "_error", "submitted_at", "resolved_at",
+        "request_id", "context",
+    )
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -94,6 +105,8 @@ class ResponseFuture:
         self.resolved_at: float = 0.0
         #: The request ID assigned at admission (set by the batcher).
         self.request_id: str = ""
+        #: The opaque admission context (e.g. the service's model slot).
+        self.context: Any = None
 
     def done(self) -> bool:
         """Whether a value or error has been delivered."""
@@ -132,22 +145,29 @@ class _Request:
     request_id: str = ""         # assigned at admission
     sampled: bool = False        # head-sampled for full trace retention
     queue_wait_ms: float = 0.0   # stamped when the batch forms
+    context: Any = None          # opaque; captured at admission
     future: ResponseFuture = field(default_factory=ResponseFuture)
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
 
     def compatible(self, other: "_Request") -> bool:
-        """Whether this request can share a model call with ``other``."""
-        return self.op == other.op and self.k == other.k
+        """Whether this request can share a model call with ``other``.
+
+        Contexts are compared by identity: requests admitted under
+        different model slots must never coalesce, or a hot swap would
+        answer an in-flight request with the wrong model.
+        """
+        return self.op == other.op and self.k == other.k and self.context is other.context
 
 
 class MicroBatcher:
     """Bounded queue + worker thread coalescing requests into batches.
 
-    ``runner(op, k, entity_keys, cutoffs)`` receives the concatenated
-    batch and must return something sliceable by row ranges: an array
-    of per-entity values for ``predict``, a list of per-entity
+    ``runner(op, k, entity_keys, cutoffs, context)`` receives the
+    concatenated batch plus the batch's shared admission context and
+    must return something sliceable by row ranges: an array of
+    per-entity values for ``predict``, a list of per-entity
     ``(item_keys, scores)`` pairs for ``rank``.
 
     ``telemetry`` supplies request IDs, head-sampling decisions, and
@@ -157,7 +177,7 @@ class MicroBatcher:
 
     def __init__(
         self,
-        runner: Callable[[str, int, np.ndarray, np.ndarray], Any],
+        runner: Callable[[str, int, np.ndarray, np.ndarray, Any], Any],
         *,
         max_batch_size: int = 64,
         max_wait_ms: float = 5.0,
@@ -195,6 +215,7 @@ class MicroBatcher:
         *,
         k: int = 0,
         deadline_ms: Optional[float] = None,
+        context: Any = None,
     ) -> ResponseFuture:
         """Admit one request; returns its future or fast-rejects."""
         if op not in ("predict", "rank"):
@@ -214,9 +235,10 @@ class MicroBatcher:
         request_id, sampled = self.telemetry.admit()
         request = _Request(op=op, entity_keys=entity_keys, cutoffs=cutoffs,
                            k=int(k), deadline=deadline,
-                           request_id=request_id, sampled=sampled)
+                           request_id=request_id, sampled=sampled, context=context)
         request.future.submitted_at = now
         request.future.request_id = request_id
+        request.future.context = context
         with self._nonempty:
             if self._closed:
                 raise ServiceClosedError("service is closed; request not admitted")
@@ -332,7 +354,8 @@ class MicroBatcher:
             trace["batch"] = batch
         self.telemetry.record_trace(trace)
 
-    def _call_runner(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+    def _call_runner(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray,
+                     context: Any):
         """One runner invocation under a ``serve.batch`` span.
 
         Returns ``(results, error)`` so callers can unwind collection
@@ -341,7 +364,7 @@ class MicroBatcher:
         try:
             with obs_trace.span("serve.batch") as batch_span:
                 batch_span.add_counter("serve.batch_rows", len(keys))
-                return self._runner(op, k, keys, cutoffs), None
+                return self._runner(op, k, keys, cutoffs, context), None
         except Exception as err:
             return None, err
 
@@ -387,10 +410,14 @@ class MicroBatcher:
                 # model spans in a thread-private collection window so the
                 # request's retained trace carries the full stage tree.
                 with obs_trace.collect(scope="thread") as batch_trace:
-                    results, error = self._call_runner(live[0].op, live[0].k, keys, cutoffs)
+                    results, error = self._call_runner(
+                        live[0].op, live[0].k, keys, cutoffs, live[0].context
+                    )
                 batch_spans = batch_trace.to_dict()["spans"]
             else:
-                results, error = self._call_runner(live[0].op, live[0].k, keys, cutoffs)
+                results, error = self._call_runner(
+                    live[0].op, live[0].k, keys, cutoffs, live[0].context
+                )
         finally:
             set_current_request_ids(())
         elapsed_ms = (time.monotonic() - start) * 1000.0

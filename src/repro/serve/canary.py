@@ -1,0 +1,389 @@
+"""Canary evaluation of a challenger model on shadowed live traffic.
+
+A hot swap (:meth:`PredictionService.swap`) replaces the live model in
+one atomic step — but *should* it?  The canary answers that with live
+traffic instead of offline judgment: while the incumbent keeps
+answering every request, a :class:`CanaryController` re-executes a
+configurable fraction of batches against the challenger **off the hot
+path**, compares the two on windowed quality (output divergence),
+latency, and errors, and then acts on its own evidence —
+
+* **promote** once ``promote_after`` shadowed requests show sustained
+  parity (divergence, latency ratio, and error rate all inside
+  budget): the service hot-swaps to the already-warm challenger;
+* **roll back** the moment any budget breaks: the challenger is
+  discarded and the incumbent keeps serving, untouched.
+
+Both decisions are edge-triggered provenance events
+(``canary_promoted`` / ``canary_rolled_back``) carrying the reason,
+the comparison window at decision time, and the request IDs of the
+shadowed traffic that triggered it.
+
+Shadowing is asynchronous and bounded: batches are *copied* onto a
+small queue consumed by one daemon thread, so a slow challenger adds
+zero latency to live responses; when the queue is full the batch is
+counted (``shadow_dropped``) and skipped rather than blocking the hot
+path.  Batch selection uses deterministic error diffusion — a fraction
+of 0.25 shadows exactly every 4th batch, not a coin flip — so canary
+runs are reproducible.
+
+Divergence is per-row and scale-aware: ``|c - i| / (|i| + 1)`` for
+scalar predictions (absolute for probabilities, relative for large
+regression targets), ``1 - overlap@k`` between the two top-k item
+sets for rankings.
+
+The shadow execution seam is a fault-injection site
+(``canary.shadow``), so chaos tests can force challenger errors and
+assert the rollback path without a genuinely broken model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import get_logger, get_registry
+from repro.resilience.faults import fault_point
+
+__all__ = ["CanaryConfig", "CanaryController"]
+
+_log = get_logger("serve.canary")
+
+
+@dataclass
+class CanaryConfig:
+    """Budgets and pacing for one canary evaluation."""
+
+    #: Fraction of live batches shadowed to the challenger ([0, 1]).
+    fraction: float = 0.25
+    #: Shadowed *requests* with sustained parity required to promote.
+    promote_after: int = 50
+    #: Mean output divergence beyond which the challenger rolls back.
+    max_divergence: float = 0.25
+    #: Challenger p95 latency budget as a multiple of the incumbent's.
+    max_latency_ratio: float = 3.0
+    #: Challenger shadow-execution error rate beyond which it rolls
+    #: back (0.0 = any error is fatal).
+    max_error_rate: float = 0.0
+    #: Comparisons required before divergence/latency budgets are
+    #: trusted (tiny samples make ratios meaningless).  Errors are
+    #: acted on immediately regardless.
+    min_compare: int = 8
+    #: Shadow-queue capacity; full means the batch is skipped, never
+    #: that the hot path blocks.
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.promote_after < 1:
+            raise ValueError(f"promote_after must be >= 1, got {self.promote_after}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass
+class _Shadow:
+    """One copied batch awaiting challenger execution."""
+
+    op: str
+    k: int
+    keys: np.ndarray
+    cutoffs: np.ndarray
+    incumbent_result: Any
+    incumbent_ms: float
+    request_ids: List[str]
+
+
+class CanaryController:
+    """Shadow a fraction of live traffic to a challenger and decide.
+
+    The controller never touches the hot path: :meth:`maybe_shadow` is
+    called by the service *after* incumbent futures resolve, copies
+    the batch, and returns immediately.  One daemon thread executes
+    shadows, accumulates the comparison window, and fires exactly one
+    of ``on_promote`` / ``on_rollback`` (the service's callbacks) when
+    the evidence is in.
+    """
+
+    def __init__(
+        self,
+        challenger_runner: Callable[[str, int, np.ndarray, np.ndarray], Any],
+        config: Optional[CanaryConfig] = None,
+        on_promote: Optional[Callable[["CanaryController", str], None]] = None,
+        on_rollback: Optional[Callable[["CanaryController", str], None]] = None,
+        challenger_label: str = "challenger",
+    ) -> None:
+        self.config = config or CanaryConfig()
+        self.challenger_label = challenger_label
+        self._runner = challenger_runner
+        self._on_promote = on_promote
+        self._on_rollback = on_rollback
+        self._lock = threading.Lock()
+        self._queue: Deque[_Shadow] = deque()
+        self._nonempty = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._closed = False
+        #: "running" → "promoted" | "rolled_back" | "cancelled".
+        self.state = "running"
+        self.decision_reason: Optional[str] = None
+        # Comparison window (guarded by _lock).
+        self._compared = 0          # shadowed requests compared OK
+        self._errors = 0            # challenger shadow executions that raised
+        self._shadow_batches = 0
+        self._shadow_dropped = 0
+        self._divergences: Deque[float] = deque(maxlen=4096)
+        self._challenger_ms: Deque[float] = deque(maxlen=512)
+        self._incumbent_ms: Deque[float] = deque(maxlen=512)
+        self._recent_ids: Deque[str] = deque(maxlen=16)
+        # Error-diffusion accumulator: fraction f adds f per batch and
+        # shadows on overflow — every 1/f-th batch, deterministically.
+        self._accumulator = 0.0
+        self._thread = threading.Thread(
+            target=self._run, name="serve-canary", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Hot-path side (service)
+    # ------------------------------------------------------------------
+    def maybe_shadow(
+        self,
+        op: str,
+        k: int,
+        keys: np.ndarray,
+        cutoffs: np.ndarray,
+        incumbent_result: Any,
+        incumbent_ms: float,
+        request_ids: Sequence[str],
+    ) -> bool:
+        """Enqueue a shadow copy of one resolved batch; never blocks.
+
+        Returns whether the batch was shadowed (selection + capacity).
+        """
+        if self.state != "running":
+            return False
+        with self._lock:
+            self._accumulator += self.config.fraction
+            if self._accumulator < 1.0:
+                return False
+            self._accumulator -= 1.0
+            if len(self._queue) >= self.config.queue_depth:
+                self._shadow_dropped += 1
+                return False
+            self._queue.append(_Shadow(
+                op=op, k=int(k), keys=np.array(keys), cutoffs=np.array(cutoffs),
+                incumbent_result=incumbent_result, incumbent_ms=float(incumbent_ms),
+                request_ids=list(request_ids),
+            ))
+            self._shadow_batches += 1
+            self._inflight += 1
+            self._nonempty.notify()
+        return True
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._nonempty:
+                while not self._queue and not self._closed:
+                    self._nonempty.wait(0.05)
+                if self._closed and not self._queue:
+                    return
+                shadow = self._queue.popleft()
+            try:
+                self._evaluate(shadow)
+            except BaseException:  # pragma: no cover - worker must never die
+                _log.exception("canary evaluation failed outside the challenger")
+            finally:
+                with self._idle:
+                    self._inflight -= 1
+                    self._idle.notify_all()
+
+    def _evaluate(self, shadow: _Shadow) -> None:
+        start = time.monotonic()
+        try:
+            fault_point("canary.shadow")
+            result = self._runner(shadow.op, shadow.k, shadow.keys, shadow.cutoffs)
+            error: Optional[BaseException] = None
+        except Exception as err:
+            result, error = None, err
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        registry = get_registry()
+        with self._lock:
+            if self.state != "running":
+                return
+            self._recent_ids.extend(shadow.request_ids)
+            if error is not None:
+                self._errors += 1
+                registry.counter("serve.canary.errors").inc()
+            else:
+                rows = len(shadow.keys)
+                self._compared += rows
+                self._challenger_ms.append(elapsed_ms)
+                self._incumbent_ms.append(shadow.incumbent_ms)
+                self._divergences.extend(
+                    _divergence(shadow.op, shadow.incumbent_result, result)
+                )
+                registry.counter("serve.canary.compared").inc(rows)
+        if error is not None:
+            _log.warning(
+                "canary shadow execution failed",
+                extra={"challenger": self.challenger_label,
+                       "error": f"{type(error).__name__}: {error}"},
+            )
+        self._decide()
+
+    def _decide(self) -> None:
+        """Evaluate budgets; fire at most one promote/rollback callback."""
+        cfg = self.config
+        with self._lock:
+            if self.state != "running":
+                return
+            executions = self._compared_batches() + self._errors
+            error_rate = self._errors / executions if executions else 0.0
+            divergence = (
+                float(np.mean(self._divergences)) if self._divergences else 0.0
+            )
+            ratio = self._latency_ratio_locked()
+            verdict: Optional[str] = None
+            reason = ""
+            if self._errors and error_rate > cfg.max_error_rate:
+                verdict = "rolled_back"
+                reason = (
+                    f"challenger error rate {error_rate:.1%} > "
+                    f"budget {cfg.max_error_rate:.1%} "
+                    f"({self._errors}/{executions} shadow executions failed)"
+                )
+            elif len(self._divergences) >= cfg.min_compare and divergence > cfg.max_divergence:
+                verdict = "rolled_back"
+                reason = (
+                    f"mean output divergence {divergence:.3f} > "
+                    f"budget {cfg.max_divergence:.3f} "
+                    f"over {len(self._divergences)} shadowed rows"
+                )
+            elif (
+                ratio is not None
+                and len(self._challenger_ms) >= cfg.min_compare
+                and ratio > cfg.max_latency_ratio
+            ):
+                verdict = "rolled_back"
+                reason = (
+                    f"challenger p95 latency {ratio:.2f}x the incumbent's > "
+                    f"budget {cfg.max_latency_ratio:.2f}x"
+                )
+            elif self._compared >= cfg.promote_after:
+                verdict = "promoted"
+                reason = (
+                    f"sustained parity over {self._compared} shadowed requests: "
+                    f"divergence {divergence:.3f} <= {cfg.max_divergence:.3f}, "
+                    f"0 errors, latency ratio "
+                    f"{'n/a' if ratio is None else f'{ratio:.2f}x'} within "
+                    f"{cfg.max_latency_ratio:.2f}x"
+                )
+            if verdict is None:
+                return
+            self.state = verdict
+            self.decision_reason = reason
+        if verdict == "promoted" and self._on_promote is not None:
+            self._on_promote(self, reason)
+        elif verdict == "rolled_back" and self._on_rollback is not None:
+            self._on_rollback(self, reason)
+
+    def _compared_batches(self) -> int:
+        return len(self._challenger_ms)
+
+    def _latency_ratio_locked(self) -> Optional[float]:
+        if not self._challenger_ms or not self._incumbent_ms:
+            return None
+        incumbent_p95 = float(np.percentile(list(self._incumbent_ms), 95))
+        challenger_p95 = float(np.percentile(list(self._challenger_ms), 95))
+        if incumbent_p95 <= 0.0:
+            return None
+        return challenger_p95 / incumbent_p95
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def recent_request_ids(self) -> List[str]:
+        """Request IDs of the most recently shadowed traffic."""
+        with self._lock:
+            return list(self._recent_ids)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready comparison window for stats and provenance events."""
+        with self._lock:
+            ratio = self._latency_ratio_locked()
+            return {
+                "challenger": self.challenger_label,
+                "state": self.state,
+                "decision_reason": self.decision_reason,
+                "fraction": self.config.fraction,
+                "promote_after": self.config.promote_after,
+                "compared_requests": self._compared,
+                "shadow_batches": self._shadow_batches,
+                "shadow_dropped": self._shadow_dropped,
+                "errors": self._errors,
+                "mean_divergence": (
+                    round(float(np.mean(self._divergences)), 6)
+                    if self._divergences else None
+                ),
+                "latency_ratio_p95": round(ratio, 4) if ratio is not None else None,
+            }
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until every enqueued shadow has been evaluated.
+
+        Tests and the bench use this to make canary decisions
+        deterministic; returns False on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def cancel(self, reason: str = "cancelled by operator") -> None:
+        """Stop evaluating without promoting or rolling back."""
+        with self._lock:
+            if self.state == "running":
+                self.state = "cancelled"
+                self.decision_reason = reason
+                self._queue.clear()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker thread (idempotent; safe from any thread)."""
+        with self._nonempty:
+            self._closed = True
+            self._queue.clear()
+            self._nonempty.notify_all()
+        if threading.current_thread() is not self._thread:
+            self._thread.join(timeout)
+
+
+def _divergence(op: str, incumbent: Any, challenger: Any) -> List[float]:
+    """Per-row divergence between two batch results (see module doc)."""
+    out: List[float] = []
+    if op == "predict":
+        inc = np.asarray(incumbent, dtype=np.float64).reshape(-1)
+        cha = np.asarray(challenger, dtype=np.float64).reshape(-1)
+        count = min(len(inc), len(cha))
+        for i in range(count):
+            out.append(float(abs(cha[i] - inc[i]) / (abs(inc[i]) + 1.0)))
+        return out
+    for inc_row, cha_row in zip(incumbent, challenger):
+        inc_items = set(np.asarray(inc_row[0]).tolist())
+        cha_items = set(np.asarray(cha_row[0]).tolist())
+        denom = max(len(inc_items), 1)
+        out.append(1.0 - len(inc_items & cha_items) / denom)
+    return out

@@ -12,6 +12,11 @@ by the echoed ``id``).  Requests:
     {"op": "stats", "format": "prometheus"}
     {"op": "health"}
     {"op": "ping"}
+    {"op": "swap", "version": 3}
+    {"op": "canary", "action": "start", "version": 4, "fraction": 0.25}
+    {"op": "canary", "action": "status"}
+    {"op": "canary", "action": "cancel"}
+    {"op": "lifecycle"}
 
 Optional fields: ``id`` (any JSON value, echoed back), ``deadline_ms``
 (per-request deadline), per-entity ``cutoff`` arrays.  Responses:
@@ -28,7 +33,21 @@ percentiles, SLO events, sampled request traces) as JSON, or — with
 Prometheus text format in the ``prometheus`` response field.
 ``health`` is the cheap probe: degradation state, queue depth, and
 the current SLO window.  Predict/rank responses echo the request ID
-assigned at ingress as ``request_id``.
+assigned at ingress as ``request_id`` and the label of the model they
+were **admitted under** as ``model_version`` — during a hot swap, a
+response's ``model_version`` is the model that actually answered it,
+not whatever happens to be live when the line is written.
+
+Lifecycle verbs drive zero-downtime model management on a running
+service: ``swap`` hot-swaps to another registry version (warmed off
+the hot path; in-flight requests finish on the old model), ``canary``
+starts/inspects/cancels a shadow-traffic evaluation of a challenger,
+and ``lifecycle`` reports the live version, transition history, and
+canary state.  Swap and canary-start execute synchronously at read
+time — every earlier line was already admitted (and answers with the
+old model), and no later line is parsed until the verb finished — so
+a piped script gets deterministic before/after semantics while the
+hot path keeps executing throughout.
 
 Error kinds: ``bad_request``, ``queue_full``, ``deadline_exceeded``,
 ``closed``, ``internal``.  The loop itself never crashes on a bad
@@ -43,6 +62,7 @@ scheduler exactly like concurrent programmatic callers.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import queue
 import threading
@@ -60,13 +80,25 @@ from repro.serve.batcher import (
 )
 from repro.serve.service import PredictionService
 
-__all__ = ["parse_request", "serve_loop"]
+__all__ = ["GracefulShutdown", "parse_request", "serve_loop"]
 
 _log = get_logger("serve.protocol")
+
+_OPS = (
+    "predict", "rank", "stats", "health", "ping", "swap", "canary", "lifecycle",
+)
 
 
 class BadRequestError(ValueError):
     """The request line is malformed; nothing was submitted."""
+
+
+class GracefulShutdown(Exception):
+    """Raised in the reader thread (by a signal handler) to drain and exit.
+
+    :func:`serve_loop` treats it exactly like EOF: stop reading, let
+    the writer answer everything already submitted, return normally.
+    """
 
 
 def parse_request(line: str) -> Dict[str, Any]:
@@ -78,10 +110,8 @@ def parse_request(line: str) -> Dict[str, Any]:
     if not isinstance(request, dict):
         raise BadRequestError("request must be a JSON object")
     op = request.get("op")
-    if op not in ("predict", "rank", "stats", "health", "ping"):
-        raise BadRequestError(
-            f"op must be predict|rank|stats|health|ping, got {op!r}"
-        )
+    if op not in _OPS:
+        raise BadRequestError(f"op must be one of {'|'.join(_OPS)}, got {op!r}")
     if op in ("predict", "rank"):
         keys = request.get("entity_keys")
         if not isinstance(keys, list) or not keys:
@@ -92,6 +122,12 @@ def parse_request(line: str) -> Dict[str, Any]:
         fmt = request.get("format", "json")
         if fmt not in ("json", "prometheus"):
             raise BadRequestError(f"stats format must be json|prometheus, got {fmt!r}")
+    if op == "canary":
+        action = request.get("action", "status")
+        if action not in ("start", "status", "cancel"):
+            raise BadRequestError(
+                f"canary action must be start|status|cancel, got {action!r}"
+            )
     return request
 
 
@@ -119,6 +155,10 @@ def _render(
     }
     if future is not None and future.request_id:
         response["request_id"] = future.request_id
+    if future is not None and future.context is not None:
+        # The slot this request was admitted under — not necessarily
+        # the one live at write time (hot swaps happen mid-stream).
+        response["model_version"] = future.context.label
     if request["op"] == "rank":
         response["rankings"] = [
             {"items": np.asarray(items).tolist(), "scores": np.asarray(scores).tolist()}
@@ -135,6 +175,80 @@ def _future_error(request_id, err: BaseException) -> Dict[str, Any]:
     if isinstance(err, ServiceClosedError):
         return _error(request_id, "closed", str(err))
     return _error(request_id, "internal", f"{type(err).__name__}: {err}")
+
+
+def _lifecycle_execute(
+    service: PredictionService, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Execute a swap/canary/lifecycle verb **synchronously at read
+    time**, returning the pre-rendered response.
+
+    Running on the reader thread is what gives the verb its ordering
+    guarantee: every line before it was already admitted (and answers
+    with the old model, off the hot path, undisturbed), and no later
+    line is even parsed until the verb — including challenger warming
+    — has finished.  The response itself is still written at its
+    in-order turn.
+    """
+    request_id = request.get("id")
+    op = request["op"]
+    try:
+        if op == "swap":
+            version = request.get("version")
+            transition = service.swap(
+                version=int(version) if version is not None else None,
+                reason=request.get("reason", "swap requested over the wire"),
+            )
+            return {"id": request_id, "status": "ok", "swapped": transition,
+                    "live": service.name}
+        if op == "lifecycle":
+            return {"id": request_id, "status": "ok",
+                    "lifecycle": service.lifecycle()}
+        action = request.get("action", "status")
+        if action == "start":
+            knobs = {
+                key: request[key] for key in
+                ("fraction", "promote_after", "max_divergence",
+                 "max_latency_ratio", "max_error_rate", "min_compare")
+                if key in request
+            }
+            version = request.get("version")
+            # Request knobs layer over the service's configured
+            # canary defaults (--canary-fraction and friends).
+            controller = service.start_canary(
+                version=int(version) if version is not None else None,
+                config=dataclasses.replace(service.config.canary_config(), **knobs)
+                if knobs else None,
+            )
+            return {"id": request_id, "status": "ok",
+                    "canary": controller.report()}
+        if action == "cancel":
+            controller = service.canary
+            service.cancel_canary(request.get("reason", "cancelled over the wire"))
+            return {"id": request_id, "status": "ok",
+                    "canary": controller.report() if controller else None}
+        controller = service.canary
+        return {"id": request_id, "status": "ok",
+                "canary": controller.report() if controller else None}
+    except (ValueError, RuntimeError) as err:
+        return _error(request_id, "bad_request", f"{type(err).__name__}: {err}")
+    except Exception as err:  # registry/IO failures must not kill the loop
+        return _error(request_id, "internal", f"{type(err).__name__}: {err}")
+
+
+def _read_lines(stdin: TextIO):
+    """Yield input lines until EOF — or a :class:`GracefulShutdown`.
+
+    A SIGTERM/SIGINT handler raises :class:`GracefulShutdown` in the
+    main thread; Python delivers it out of the blocking ``readline``
+    (PEP 475 re-raises after the signal handler runs), and the loop
+    drains instead of dying mid-response.
+    """
+    try:
+        for line in stdin:
+            yield line
+    except GracefulShutdown:
+        _log.info("graceful shutdown requested; draining in-flight requests")
 
 
 def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int:
@@ -177,7 +291,7 @@ def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int
     writer_thread = threading.Thread(target=writer, name="serve-writer", daemon=True)
     writer_thread.start()
     try:
-        for line in stdin:
+        for line in _read_lines(stdin):
             line = line.strip()
             if not line:
                 continue
@@ -203,6 +317,9 @@ def serve_loop(service: PredictionService, stdin: TextIO, stdout: TextIO) -> int
             if op == "health":
                 pending.put((request, lambda rid=request_id: {
                     "id": rid, "status": "ok", "health": service.health()}))
+                continue
+            if op in ("swap", "canary", "lifecycle"):
+                pending.put((request, _lifecycle_execute(service, request)))
                 continue
             try:
                 future = _submit(service, request)

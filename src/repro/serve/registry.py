@@ -1,4 +1,4 @@
-"""A versioned on-disk model registry.
+"""A versioned, transactional, crash-safe on-disk model registry.
 
 Serving must always know *exactly which* artifact answers requests —
 "the directory I trained into last Tuesday" does not survive
@@ -16,14 +16,27 @@ with enough provenance to verify and roll back:
           weights.npz
         v2/
           ...
+        .staging-v3/      # an in-flight publish (never read)
+        .quarantine/      # versions fsck moved aside (never served)
+
+Publishes are **transactional**: the artifact is staged into a hidden
+``.staging-v<N>`` directory, renamed to ``v<N>``, the directory entry
+is fsynced, and only then is the index committed (temp file + fsync +
+``os.replace`` + directory fsync).  A ``kill -9`` at *any* point
+leaves either the previous index (pointing only at complete, verified
+versions) or the new one — never a half-published version a reader
+can trust by accident.  Whatever debris a crash leaves behind
+(staging directories, renamed-but-unindexed ``v<N>`` dirs) is
+quarantined by the **recovery pass** that runs when the registry is
+opened; :meth:`ModelRegistry.fsck` additionally re-verifies every
+indexed version's checksum and repairs the ``latest`` pointer.
 
 Each index entry records the query text, task type, publication time,
 and the SHA-256 of the saved ``manifest.json``.  ``load`` re-hashes
 the manifest before deserializing anything: a version directory that
 was swapped, edited, or half-restored from backup fails with
 :class:`RegistryVersionError` instead of silently serving the wrong
-model.  All writes go through the resilience layer's atomic helpers,
-so a crashed publish never corrupts the index or an existing version.
+model.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ from typing import Any, Dict, List, Optional
 from repro.obs import get_logger
 from repro.relational.database import Database
 from repro.resilience.checkpoint import atomic_write_json, sha256_file
+from repro.resilience.faults import fault_file, fault_point
 
 __all__ = ["ModelRegistry", "RegistryError", "RegistryVersionError"]
 
@@ -44,6 +58,8 @@ _log = get_logger("serve.registry")
 
 MANIFEST_FILE = "manifest.json"
 INDEX_FILE = "index.json"
+STAGING_PREFIX = ".staging-"
+QUARANTINE_DIR = ".quarantine"
 
 
 class RegistryError(RuntimeError):
@@ -58,12 +74,34 @@ def _version_dir(name_dir: str, version: int) -> str:
     return os.path.join(name_dir, f"v{int(version)}")
 
 
-class ModelRegistry:
-    """Versioned model artifacts under one root directory."""
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so a just-committed rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
-    def __init__(self, root: str) -> None:
-        self.root = root
-        os.makedirs(root, exist_ok=True)
+
+class ModelRegistry:
+    """Versioned model artifacts under one root directory.
+
+    Opening the registry runs a cheap structural **recovery pass** over
+    every model: leftover staging directories are deleted (an in-flight
+    publish that never committed) and ``v<N>`` directories the index
+    does not reference are moved into ``.quarantine/`` (a publish
+    killed between rename and index commit).  Pass ``recover=False``
+    to skip it — e.g. when a second process merely reads.
+    """
+
+    def __init__(self, root: str, recover: bool = True) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        if recover:
+            self.recover()
 
     # ------------------------------------------------------------------
     # Index bookkeeping
@@ -85,6 +123,13 @@ class ModelRegistry:
                 return json.load(handle)
         except (OSError, json.JSONDecodeError) as err:
             raise RegistryError(f"registry index for {name!r} is unreadable: {err}") from err
+
+    def _commit_index(self, name: str, index: Dict[str, Any]) -> None:
+        """Atomically replace the index and fsync the directory entry."""
+        fault_point("registry.index.commit")
+        atomic_write_json(self._index_path(name), index)
+        fault_file("registry.index.committed", self._index_path(name))
+        _fsync_dir(self._name_dir(name))
 
     def names(self) -> List[str]:
         """Registered model names, sorted."""
@@ -118,53 +163,108 @@ class ModelRegistry:
         return dict(entry, version=resolved)
 
     # ------------------------------------------------------------------
-    # Publish / load
+    # Publish
     # ------------------------------------------------------------------
     def publish(self, model, name: str) -> int:
         """Save ``model`` as the next version of ``name``; returns it.
 
-        The model is saved into the version directory with the
-        planner's atomic save, then the index is committed atomically.
-        A crash between the two leaves an orphan ``v<N>`` directory
-        that the index never points to — harmless, and reclaimed by
-        the next publish to the same version number.
+        The publish is a transaction in three crash-ordered steps —
+        stage (write the artifact into a hidden ``.staging-v<N>``
+        directory), expose (rename it to ``v<N>`` and fsync the parent
+        directory), commit (atomic index replace).  A crash before the
+        commit leaves debris the recovery pass quarantines; it can
+        never leave the index pointing at an incomplete artifact.
         """
+        return self._publish(name, lambda staging: model.save(staging), {
+            "query": str(model.binding.query),
+            "task_type": model.task_type.value,
+            "degraded_from": model.degraded_from,
+        })
+
+    def publish_dir(self, directory: str, name: str) -> int:
+        """Publish an already-saved model directory as the next version.
+
+        ``directory`` must be a :meth:`TrainedPredictiveModel.save`
+        layout (``manifest.json`` + payloads); the files are copied
+        into the staged version without loading the model, so a
+        publisher process needs no database.  This is what
+        ``repro registry publish`` uses.
+        """
+        manifest_path = os.path.join(directory, MANIFEST_FILE)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            raise RegistryError(
+                f"{directory!r} is not a saved model directory: {err}"
+            ) from err
+        return self._publish(
+            name,
+            lambda staging: shutil.copytree(directory, staging, dirs_exist_ok=True),
+            {
+                "query": manifest.get("query", ""),
+                "task_type": manifest.get("task_type", ""),
+                "degraded_from": manifest.get("degraded_from"),
+            },
+        )
+
+    def _publish(self, name: str, write_artifact, metadata: Dict[str, Any]) -> int:
         name_dir = self._name_dir(name)
         os.makedirs(name_dir, exist_ok=True)
         index = self._read_index(name)
         known = [int(v) for v in index["versions"]]
         version = (max(known) + 1) if known else 1
         target = _version_dir(name_dir, version)
-        if os.path.exists(target):  # orphan from a crashed publish
-            shutil.rmtree(target)
-        model.save(target)
-        manifest_sha = sha256_file(os.path.join(target, MANIFEST_FILE))
+        staging = os.path.join(name_dir, f"{STAGING_PREFIX}v{version}")
+        for leftover in (staging, target):
+            # Debris from a crashed publish of this same number: the
+            # index never pointed at it, so reclaiming is safe.
+            if os.path.exists(leftover):
+                shutil.rmtree(leftover)
+
+        # Step 1 — stage.  A crash in here leaves only .staging-vN.
+        write_artifact(staging)
+        manifest_path = os.path.join(staging, MANIFEST_FILE)
+        if not os.path.exists(manifest_path):
+            raise RegistryError(
+                f"artifact for {name!r} v{version} has no {MANIFEST_FILE!r}"
+            )
+        manifest_sha = sha256_file(manifest_path)
+        fault_file("registry.publish.staged", manifest_path)
+
+        # Step 2 — expose.  Rename is atomic; fsync makes it durable.
+        os.rename(staging, target)
+        _fsync_dir(name_dir)
+        fault_point("registry.publish.renamed")
+
+        # Step 3 — commit.  Until this replace lands, readers still see
+        # the previous index and the new vN is just unindexed debris.
         index["versions"][str(version)] = {
-            "query": str(model.binding.query),
-            "task_type": model.task_type.value,
-            "degraded_from": model.degraded_from,
+            **metadata,
             "manifest_sha256": manifest_sha,
             "published_unix": int(time.time()),
         }
         index["latest"] = version
-        atomic_write_json(self._index_path(name), index)
+        self._commit_index(name, index)
         _log.info(
             "model published",
-            extra={"model": name, "version": version, "task_type": model.task_type.value},
+            extra={"model": name, "version": version,
+                   "task_type": metadata.get("task_type", "")},
         )
         return version
 
-    def load(self, name: str, db: Database, version: Optional[int] = None):
-        """Reload one version (default: latest) against ``db``.
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def verify(self, name: str, version: Optional[int] = None) -> int:
+        """Check one version's artifact against the index; returns it.
 
         Raises :class:`RegistryVersionError` when the version was
         never published, its directory is gone, or its manifest no
         longer matches the checksum recorded at publish time.
         """
-        from repro.pql.planner import TrainedPredictiveModel
-
         entry = self.describe(name, version)
-        resolved = entry["version"]
+        resolved = int(entry["version"])
         directory = _version_dir(self._name_dir(name), resolved)
         manifest_path = os.path.join(directory, MANIFEST_FILE)
         if not os.path.exists(manifest_path):
@@ -180,6 +280,135 @@ class ModelRegistry:
                 f"{entry['manifest_sha256'][:12]}… — the artifact was replaced or "
                 f"corrupted after publish"
             )
+        return resolved
+
+    def load(self, name: str, db: Database, version: Optional[int] = None):
+        """Reload one version (default: latest) against ``db``.
+
+        The manifest is re-hashed against the index before anything is
+        deserialized (see :meth:`verify`).
+        """
+        from repro.pql.planner import TrainedPredictiveModel
+
+        fault_point("registry.load")
+        resolved = self.verify(name, version)
+        directory = _version_dir(self._name_dir(name), resolved)
         model = TrainedPredictiveModel.load(directory, db)
         _log.info("model loaded", extra={"model": name, "version": resolved})
         return model
+
+    # ------------------------------------------------------------------
+    # Recovery / fsck
+    # ------------------------------------------------------------------
+    def _model_dirs(self) -> List[str]:
+        found = []
+        for entry in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, entry)
+            if os.path.isdir(path) and not entry.startswith("."):
+                found.append(entry)
+        return found
+
+    def _quarantine(self, name: str, directory: str, issues: List[Dict[str, Any]],
+                    kind: str, detail: str) -> None:
+        quarantine_root = os.path.join(self._name_dir(name), QUARANTINE_DIR)
+        os.makedirs(quarantine_root, exist_ok=True)
+        stamp = f"{os.path.basename(directory)}-{int(time.time() * 1000):x}"
+        destination = os.path.join(quarantine_root, stamp)
+        os.rename(directory, destination)
+        issues.append({"model": name, "kind": kind, "detail": detail,
+                       "quarantined_to": destination})
+        _log.warning(
+            "registry quarantined a version directory",
+            extra={"model": name, "kind": kind, "detail": detail},
+        )
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Structural recovery: quarantine debris a crashed publish left.
+
+        * ``.staging-v<N>`` directories — an in-flight publish that
+          never renamed; deleted outright (nothing ever referenced
+          them).
+        * ``v<N>`` directories absent from the index — a publish
+          killed between rename and index commit; moved into
+          ``.quarantine/`` so an operator can inspect or salvage.
+
+        Cheap by design (no hashing) so it can run on every open;
+        returns the list of issues handled.
+        """
+        issues: List[Dict[str, Any]] = []
+        for name in self._model_dirs():
+            name_dir = self._name_dir(name)
+            index = self._read_index(name)
+            indexed = {f"v{int(v)}" for v in index["versions"]}
+            for entry in sorted(os.listdir(name_dir)):
+                path = os.path.join(name_dir, entry)
+                if entry.startswith(STAGING_PREFIX):
+                    shutil.rmtree(path)
+                    issues.append({"model": name, "kind": "staging_debris",
+                                   "detail": f"removed in-flight publish {entry}",
+                                   "quarantined_to": None})
+                elif (
+                    entry.startswith("v") and entry[1:].isdigit()
+                    and os.path.isdir(path) and entry not in indexed
+                ):
+                    self._quarantine(
+                        name, path, issues, "unindexed_version",
+                        f"{entry} exists on disk but the index never committed it",
+                    )
+        return issues
+
+    def fsck(self, name: Optional[str] = None,
+             verify_checksums: bool = True) -> Dict[str, Any]:
+        """Full consistency check (and repair) of the registry.
+
+        Runs the structural :meth:`recover` pass, then — with
+        ``verify_checksums`` — re-hashes every indexed version's
+        manifest: versions whose artifact is missing or fails its
+        checksum are dropped from the index and their directories
+        quarantined.  If ``latest`` points at a dropped (or absent)
+        version it is repaired to the highest surviving one.
+
+        Returns ``{"clean": bool, "issues": [...], "models": {...}}``
+        where ``issues`` lists everything that was wrong (and is now
+        quarantined or repaired) and ``models`` maps each model to its
+        surviving versions and latest pointer.
+        """
+        issues = list(self.recover())
+        models: Dict[str, Any] = {}
+        targets = [name] if name is not None else self._model_dirs()
+        for model_name in targets:
+            index = self._read_index(model_name)
+            dirty = False
+            if verify_checksums:
+                for version in sorted(int(v) for v in list(index["versions"])):
+                    directory = _version_dir(self._name_dir(model_name), version)
+                    try:
+                        self.verify(model_name, version)
+                    except RegistryVersionError as err:
+                        del index["versions"][str(version)]
+                        dirty = True
+                        if os.path.isdir(directory):
+                            self._quarantine(
+                                model_name, directory, issues,
+                                "corrupt_version", str(err),
+                            )
+                        else:
+                            issues.append({
+                                "model": model_name, "kind": "missing_artifact",
+                                "detail": str(err), "quarantined_to": None,
+                            })
+            surviving = sorted(int(v) for v in index["versions"])
+            latest = index["latest"]
+            if latest is not None and int(latest) not in surviving:
+                index["latest"] = surviving[-1] if surviving else None
+                dirty = True
+                issues.append({
+                    "model": model_name, "kind": "latest_repaired",
+                    "detail": f"latest pointed at missing v{latest}; "
+                              f"now {index['latest']}",
+                    "quarantined_to": None,
+                })
+            if dirty:
+                self._commit_index(model_name, index)
+            models[model_name] = {"latest": index["latest"], "versions": surviving}
+        return {"clean": not issues, "issues": issues, "models": models}

@@ -1,8 +1,8 @@
 """:class:`PredictionService` — the programmatic serving API.
 
-One service instance wraps one model version (loaded directly or from
-a :class:`~repro.serve.registry.ModelRegistry`) and answers
-single-entity and bulk requests through the micro-batching scheduler:
+One service instance answers single-entity and bulk requests through
+the micro-batching scheduler, against whichever model version is
+currently **live**:
 
 ::
 
@@ -11,6 +11,9 @@ single-entity and bulk requests through the micro-batching scheduler:
     service.warmup()
     p = service.predict([1017], cutoff)            # blocking, one entity
     f = service.predict_async(keys, cutoff)        # future, bulk
+    ...
+    service.swap(version=3)                        # hot swap, zero downtime
+    service.start_canary(version=4)                # judge v4 on live traffic
     ...
     f.result()
     service.close()
@@ -31,13 +34,27 @@ Behind ``predict``/``rank`` sits the full serving contract:
   :class:`~repro.serve.fallback.ActivityHeuristic`.  The switch is
   recorded (``serve.fallbacks`` counter, ``degraded`` in
   :meth:`stats`) so monitoring can tell fast-but-crude from healthy;
-* **warm caches** — all requests share the model's subgraph LRU and
-  (for LIST queries) the memoized item-tower embeddings, and
+* **hot swap** — :meth:`swap` (and :meth:`swap_model`) replaces the
+  live model **between micro-batches with zero downtime**: every
+  request captures the live :class:`_ModelSlot` at admission and its
+  batch executes against exactly that slot, so in-flight futures
+  complete against the model they were admitted under while new
+  admissions see the replacement.  The challenger is warmed (subgraph
+  + item-embedding caches) *before* the switch, off the hot path; a
+  successful swap resets the degradation ladder and latency budgets
+  (provenance ``restored_by: swap``) and records a ``swapped`` event;
+* **canary** — :meth:`start_canary` shadows a fraction of live
+  traffic to a challenger and auto-promotes on sustained parity or
+  rolls back on regression (see :mod:`repro.serve.canary`);
+* **warm caches** — all requests share the live model's subgraph LRU
+  and (for LIST queries) the memoized item-tower embeddings, and
   :meth:`warmup` primes both before traffic arrives.
 
 A fresh instance starts with clean telemetry: construction drops the
 ``serve.*`` instruments and the sampler-cache counters, so numbers
-reported for this model version are this model version's alone.
+reported for this service are this service's alone.  A hot swap keeps
+them — the serving timeline is continuous across versions, and the
+``swapped`` event marks the boundary.
 """
 
 from __future__ import annotations
@@ -52,7 +69,9 @@ import numpy as np
 from repro.obs import get_logger, get_registry
 from repro.obs.telemetry import ServingTelemetry, TelemetryConfig, current_request_ids
 from repro.pql.ast import TaskType
+from repro.resilience.faults import fault_point
 from repro.serve.batcher import MicroBatcher, ResponseFuture
+from repro.serve.canary import CanaryConfig, CanaryController
 from repro.serve.fallback import ActivityHeuristic
 
 __all__ = ["PredictionService", "ServeConfig"]
@@ -95,6 +114,23 @@ class ServeConfig:
     slo_p99_ms: Optional[float] = None
     #: Window error-rate target ([0, 1]); None = off.
     slo_error_rate: Optional[float] = None
+    #: Default canary budgets (used when :meth:`PredictionService.start_canary`
+    #: is not given an explicit :class:`CanaryConfig`).
+    canary_fraction: float = 0.25
+    canary_promote_after: int = 50
+    canary_max_divergence: float = 0.25
+    canary_max_latency_ratio: float = 3.0
+    canary_max_error_rate: float = 0.0
+
+    def canary_config(self) -> CanaryConfig:
+        """The default :class:`CanaryConfig` slice of this config."""
+        return CanaryConfig(
+            fraction=self.canary_fraction,
+            promote_after=self.canary_promote_after,
+            max_divergence=self.canary_max_divergence,
+            max_latency_ratio=self.canary_max_latency_ratio,
+            max_error_rate=self.canary_max_error_rate,
+        )
 
     def telemetry_config(self) -> TelemetryConfig:
         """The :class:`TelemetryConfig` slice of this config."""
@@ -108,25 +144,52 @@ class ServeConfig:
         )
 
 
+class _ModelSlot:
+    """One live (or once-live) model plus everything bound to it.
+
+    The slot — not the service — is what a request captures at
+    admission and what the batcher hands back to the runner, so a hot
+    swap can replace ``service._slot`` without touching any batch
+    already in flight.  Slots are compared by identity when coalescing.
+    """
+
+    __slots__ = ("model", "label", "version", "heuristic", "task")
+
+    def __init__(self, model, label: str, version: Optional[int]) -> None:
+        self.model = model
+        #: Display name, e.g. ``churn@v2`` — echoed as ``model_version``.
+        self.label = label
+        #: Registry version number when known, else None.
+        self.version = version
+        entity_type = model.binding.query.entity_table
+        item_type = model.binding.item_table if model.task_type == TaskType.LINK else ""
+        self.heuristic = ActivityHeuristic(model.graph, entity_type, item_type)
+        self.task = "binary" if model.task_type == TaskType.BINARY else "regression"
+
+
 class PredictionService:
-    """Serve one trained model behind a micro-batching request queue."""
+    """Serve a hot-swappable trained model behind a micro-batch queue."""
 
     def __init__(self, model, config: Optional[ServeConfig] = None, name: str = "model") -> None:
-        self.model = model
         self.config = config or ServeConfig()
-        self.name = name
+        self._slot = _ModelSlot(model, label=name, version=None)
         self._degraded = False
         self._degraded_reason: Optional[str] = None
         self._breaches = 0
         self._state_lock = threading.Lock()
+        self._canary: Optional[CanaryController] = None
+        self._canary_slot: Optional[_ModelSlot] = None
+        #: Completed lifecycle transitions, oldest first (JSON-ready).
+        self._transitions: List[Dict[str, Any]] = []
+        # The registry handle/db/name backing swap(version=...); set by
+        # from_registry, absent for directly-constructed services.
+        self._registry = None
+        self._db = None
+        self._registry_name: Optional[str] = None
         self.reset_metrics()
         # Telemetry registers the windowed serve.* histograms, so it must
         # come after reset_metrics() dropped the predecessor's instruments.
         self.telemetry = ServingTelemetry(self.config.telemetry_config())
-        entity_type = model.binding.query.entity_table
-        item_type = model.binding.item_table if model.task_type == TaskType.LINK else ""
-        self._heuristic = ActivityHeuristic(model.graph, entity_type, item_type)
-        self._task = "binary" if model.task_type == TaskType.BINARY else "regression"
         self._batcher = MicroBatcher(
             self._execute,
             max_batch_size=self.config.max_batch_size,
@@ -150,10 +213,38 @@ class PredictionService:
         version: Optional[int] = None,
         config: Optional[ServeConfig] = None,
     ) -> "PredictionService":
-        """Load a registry version (default: latest) and serve it."""
+        """Load a registry version (default: latest) and serve it.
+
+        A registry-backed service can later :meth:`swap` to (or
+        :meth:`start_canary` against) any other published version by
+        number alone.
+        """
         model = registry.load(name, db, version=version)
         resolved = version if version is not None else registry.latest(name)
-        return cls(model, config=config, name=f"{name}@v{resolved}")
+        service = cls(model, config=config, name=f"{name}@v{resolved}")
+        service._slot.version = int(resolved)
+        service._registry = registry
+        service._db = db
+        service._registry_name = name
+        return service
+
+    # ------------------------------------------------------------------
+    # Live-slot accessors (backwards-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        """The live model (the one new admissions will execute against)."""
+        return self._slot.model
+
+    @property
+    def name(self) -> str:
+        """The live model's label, e.g. ``churn@v2``."""
+        return self._slot.label
+
+    @property
+    def version(self) -> Optional[int]:
+        """The live model's registry version (None if unversioned)."""
+        return self._slot.version
 
     # ------------------------------------------------------------------
     # Telemetry lifecycle
@@ -161,10 +252,10 @@ class PredictionService:
     def reset_metrics(self) -> None:
         """Drop ``serve.*`` instruments and sampler-cache counters.
 
-        Called on construction so a new service instance (typically a
-        new model version) never reports a predecessor's traffic in
-        its own stats/EXPLAIN output.  Cached subgraph *entries* are
-        kept — warmth is worth inheriting, stale counters are not.
+        Called on construction so a new service instance never reports
+        a predecessor's traffic in its own stats/EXPLAIN output.
+        Cached subgraph *entries* are kept — warmth is worth
+        inheriting, stale counters are not.
         """
         registry = get_registry()
         registry.drop_prefix("serve.")
@@ -187,13 +278,15 @@ class PredictionService:
         self, entity_keys, cutoff, deadline_ms: Optional[float] = None
     ) -> ResponseFuture:
         """Submit a predict request; returns its future immediately."""
-        if self.model.task_type == TaskType.LINK:
+        slot = self._slot  # captured once: the model this request is admitted under
+        if slot.model.task_type == TaskType.LINK:
             raise ValueError("predict() is for scalar queries; this model serves rank()")
         keys = np.asarray(entity_keys)
         return self._batcher.submit(
             "predict", keys, self._cutoff_vector(cutoff, len(keys)),
             deadline_ms=deadline_ms if deadline_ms is not None
             else self.config.default_deadline_ms,
+            context=slot,
         )
 
     def predict(self, entity_keys, cutoff, deadline_ms: Optional[float] = None) -> np.ndarray:
@@ -205,7 +298,8 @@ class PredictionService:
         deadline_ms: Optional[float] = None,
     ) -> ResponseFuture:
         """Submit a rank request (LIST queries); returns its future."""
-        if self.model.task_type != TaskType.LINK:
+        slot = self._slot
+        if slot.model.task_type != TaskType.LINK:
             raise ValueError("rank() is for LIST queries; this model serves predict()")
         keys = np.asarray(entity_keys)
         return self._batcher.submit(
@@ -213,6 +307,7 @@ class PredictionService:
             k=k if k is not None else self.config.default_k,
             deadline_ms=deadline_ms if deadline_ms is not None
             else self.config.default_deadline_ms,
+            context=slot,
         )
 
     def rank(
@@ -222,39 +317,47 @@ class PredictionService:
         """Blocking rank: top-k ``(item_keys, scores)`` per entity."""
         return self.rank_async(entity_keys, cutoff, k, deadline_ms).result()
 
+    def _warm_slot(self, slot: _ModelSlot, num_entities: int,
+                   cutoff: Optional[int]) -> int:
+        """Prime one slot's caches by direct model calls (no batcher)."""
+        entity_type = slot.model.binding.query.entity_table
+        keys = slot.model.graph.node_keys[entity_type][:num_entities]
+        if len(keys) == 0:
+            return 0
+        if cutoff is None:
+            times = slot.model.graph.node_times(entity_type)
+            cutoff = int(times.max()) if len(times) else 0
+        cutoffs = np.full(len(keys), int(cutoff), dtype=np.int64)
+        if slot.model.task_type == TaskType.LINK:
+            slot.model.rank_items(keys, cutoffs, k=self.config.default_k)
+        else:
+            slot.model.predict(keys, cutoffs)
+        return len(keys)
+
     def warmup(self, num_entities: int = 16, cutoff: Optional[int] = None) -> int:
-        """Prime the subgraph and item-embedding caches with one batch.
+        """Prime the live model's subgraph and item-embedding caches.
 
         Uses the first ``num_entities`` entity keys and the latest
         graph timestamp unless told otherwise; returns the number of
         entities warmed.
         """
-        entity_type = self.model.binding.query.entity_table
-        keys = self.model.graph.node_keys[entity_type][:num_entities]
-        if len(keys) == 0:
-            return 0
-        if cutoff is None:
-            times = self.model.graph.node_times(entity_type)
-            cutoff = int(times.max()) if len(times) else 0
-        if self.model.task_type == TaskType.LINK:
-            self.rank(keys, cutoff)
-        else:
-            self.predict(keys, cutoff)
-        return len(keys)
+        return self._warm_slot(self._slot, num_entities, cutoff)
 
     # ------------------------------------------------------------------
     # Execution + degradation ladder
     # ------------------------------------------------------------------
-    def _model_call(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+    def _model_call(self, slot: _ModelSlot, op: str, k: int,
+                    keys: np.ndarray, cutoffs: np.ndarray):
         if op == "rank":
-            return self.model.rank_items(keys, cutoffs, k=k)
-        return self.model.predict(keys, cutoffs)
+            return slot.model.rank_items(keys, cutoffs, k=k)
+        return slot.model.predict(keys, cutoffs)
 
-    def _fallback_call(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
+    def _fallback_call(self, slot: _ModelSlot, op: str, k: int,
+                       keys: np.ndarray, cutoffs: np.ndarray):
         get_registry().counter("serve.degraded_batches").inc()
         if op == "rank":
-            return self._heuristic.rank(keys, cutoffs, k)
-        return self._heuristic.predict(keys, cutoffs, self._task)
+            return slot.heuristic.rank(keys, cutoffs, k)
+        return slot.heuristic.predict(keys, cutoffs, slot.task)
 
     def _degrade(self, reason: str) -> None:
         with self._state_lock:
@@ -271,18 +374,28 @@ class PredictionService:
         )
         _log.warning("serving degraded to the heuristic rung", extra={"reason": reason})
 
-    def _execute(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray):
-        """The batcher's runner: model path with the ladder underneath."""
+    def _execute(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray,
+                 slot: Optional[_ModelSlot]):
+        """The batcher's runner: model path with the ladder underneath.
+
+        ``slot`` is the batch's shared admission context — the model
+        these requests were promised.  A batch admitted before a swap
+        still runs here against its original slot even though
+        ``self._slot`` has moved on.
+        """
+        if slot is None:
+            slot = self._slot
         if self._degraded:
-            return self._fallback_call(op, k, keys, cutoffs)
+            return self._fallback_call(slot, op, k, keys, cutoffs)
+        fault_point("service.execute")
         start = time.monotonic()
         try:
-            result = self._model_call(op, k, keys, cutoffs)
+            result = self._model_call(slot, op, k, keys, cutoffs)
         except Exception as err:
             if not self.config.fallback:
                 raise
             self._degrade(f"model path failed: {type(err).__name__}: {err}")
-            return self._fallback_call(op, k, keys, cutoffs)
+            return self._fallback_call(slot, op, k, keys, cutoffs)
         elapsed_ms = (time.monotonic() - start) * 1000.0
         budget = self.config.latency_budget_ms
         if budget is not None and self.config.fallback:
@@ -299,7 +412,206 @@ class PredictionService:
             else:
                 with self._state_lock:
                     self._breaches = 0
+        canary = self._canary
+        if canary is not None and slot is self._slot:
+            # Shadow only traffic served by the *incumbent* slot: batches
+            # still draining from a pre-swap slot are not representative.
+            canary.maybe_shadow(
+                op, k, keys, cutoffs, result, elapsed_ms, current_request_ids()
+            )
         return result
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def _resolve_challenger(
+        self, model, name: Optional[str], version: Optional[int]
+    ) -> _ModelSlot:
+        """Build a slot from a model object or a registry version."""
+        if model is not None:
+            label = name or f"{self._registry_name or 'model'}@direct"
+            return _ModelSlot(model, label=label, version=None)
+        if self._registry is None or self._registry_name is None:
+            raise ValueError(
+                "swap/canary by version requires a registry-backed service "
+                "(use PredictionService.from_registry, or pass a model object)"
+            )
+        resolved = (
+            int(version) if version is not None else self._registry.latest(self._registry_name)
+        )
+        loaded = self._registry.load(self._registry_name, self._db, version=resolved)
+        slot = _ModelSlot(
+            loaded, label=f"{self._registry_name}@v{resolved}", version=resolved
+        )
+        return slot
+
+    def swap_model(self, model, name: Optional[str] = None,
+                   warm: bool = True, reason: str = "operator swap") -> Dict[str, Any]:
+        """Hot-swap to an already-loaded model object (see :meth:`swap`)."""
+        slot = self._resolve_challenger(model, name, None)
+        return self._swap_to(slot, warm=warm, reason=reason)
+
+    def swap(self, version: Optional[int] = None, warm: bool = True,
+             reason: str = "operator swap") -> Dict[str, Any]:
+        """Hot-swap the live model to a registry version, zero downtime.
+
+        The challenger is loaded and **warmed off the hot path**
+        (subgraph + item-embedding caches primed by direct model
+        calls), then the live slot is replaced atomically between
+        micro-batches: requests admitted before the swap complete
+        against the old model, requests admitted after it run the new
+        one, and nothing is rejected or dropped in between.  A
+        successful swap clears sticky degradation and latency-budget
+        state (the new model deserves a clean ladder) and records a
+        ``swapped`` provenance event.  Returns the transition record.
+        """
+        slot = self._resolve_challenger(None, None, version)
+        return self._swap_to(slot, warm=warm, reason=reason)
+
+    def _swap_to(self, slot: _ModelSlot, warm: bool, reason: str) -> Dict[str, Any]:
+        fault_point("service.swap")
+        if warm:
+            self._warm_slot(slot, num_entities=16, cutoff=None)
+        fault_point("service.swap.warmed")
+        with self._state_lock:
+            previous = self._slot
+            self._slot = slot          # the atomic switch: new admissions see `slot`
+            was_degraded = self._degraded
+            self._degraded = False
+            self._degraded_reason = None
+            self._breaches = 0
+        transition = {
+            "kind": "swapped",
+            "time": time.time(),
+            "from": previous.label,
+            "to": slot.label,
+            "reason": reason,
+            "restored_by": "swap" if was_degraded else None,
+        }
+        self._transitions.append(transition)
+        self.telemetry.record_event(
+            "swapped", f"live model {previous.label} -> {slot.label}: {reason}",
+            from_version=previous.label, to_version=slot.label,
+        )
+        if was_degraded:
+            # The ladder was engaged against the old model; the swap is
+            # what restored full service, and provenance says so.
+            self.telemetry.record_event(
+                "restored", "degradation cleared by model swap", restored_by="swap"
+            )
+        _log.info(
+            "model hot-swapped",
+            extra={"from": previous.label, "to": slot.label, "reason": reason},
+        )
+        return transition
+
+    # ------------------------------------------------------------------
+    # Canary
+    # ------------------------------------------------------------------
+    def start_canary(
+        self,
+        version: Optional[int] = None,
+        model=None,
+        name: Optional[str] = None,
+        config: Optional[CanaryConfig] = None,
+        warm: bool = True,
+    ) -> CanaryController:
+        """Shadow live traffic to a challenger; auto-promote or roll back.
+
+        The challenger (a registry ``version`` or a ``model`` object)
+        is warmed, then a :class:`CanaryController` begins re-executing
+        a fraction of live batches against it off the hot path.  On
+        sustained parity the controller calls back into the service and
+        the challenger is hot-swapped live (it is already warm, so the
+        promote itself is instant); on regression it is discarded and
+        the incumbent keeps serving.  Either way an edge-triggered
+        ``canary_promoted`` / ``canary_rolled_back`` event records the
+        reason, comparison window, and triggering request IDs.
+        """
+        if self._canary is not None and self._canary.state == "running":
+            raise RuntimeError(
+                f"a canary is already running ({self._canary.challenger_label}); "
+                f"cancel it before starting another"
+            )
+        slot = self._resolve_challenger(model, name, version)
+        if warm:
+            self._warm_slot(slot, num_entities=16, cutoff=None)
+        controller = CanaryController(
+            challenger_runner=lambda op, k, keys, cutoffs: self._model_call(
+                slot, op, k, keys, cutoffs
+            ),
+            config=config if config is not None else self.config.canary_config(),
+            on_promote=self._on_canary_promote,
+            on_rollback=self._on_canary_rollback,
+            challenger_label=slot.label,
+        )
+        self._canary_slot = slot
+        self._canary = controller
+        self.telemetry.record_event(
+            "canary_started",
+            f"shadowing {controller.config.fraction:.0%} of live traffic to "
+            f"{slot.label} (promote after {controller.config.promote_after})",
+            challenger=slot.label, canary=controller.report(),
+        )
+        _log.info(
+            "canary started",
+            extra={"challenger": slot.label,
+                   "fraction": controller.config.fraction},
+        )
+        return controller
+
+    @property
+    def canary(self) -> Optional[CanaryController]:
+        """The active (or most recently finished) canary controller."""
+        return self._canary
+
+    def cancel_canary(self, reason: str = "cancelled by operator") -> None:
+        """Stop the running canary without promoting or rolling back."""
+        controller = self._canary
+        if controller is None:
+            return
+        controller.cancel(reason)
+        controller.close()
+        self._canary_slot = None
+
+    def _on_canary_promote(self, controller: CanaryController, reason: str) -> None:
+        slot = self._canary_slot
+        self._canary_slot = None
+        transition = self._swap_to(slot, warm=False, reason=f"canary promote: {reason}")
+        self._transitions.append({
+            "kind": "canary_promoted", "time": time.time(),
+            "to": slot.label, "reason": reason, "canary": controller.report(),
+        })
+        self.telemetry.record_event(
+            "canary_promoted", reason,
+            request_ids=controller.recent_request_ids(),
+            challenger=slot.label, canary=controller.report(),
+        )
+        controller.close()
+        _log.info(
+            "canary promoted",
+            extra={"challenger": slot.label, "reason": reason,
+                   "swap": transition["to"]},
+        )
+
+    def _on_canary_rollback(self, controller: CanaryController, reason: str) -> None:
+        slot = self._canary_slot
+        self._canary_slot = None
+        label = slot.label if slot is not None else controller.challenger_label
+        self._transitions.append({
+            "kind": "canary_rolled_back", "time": time.time(),
+            "challenger": label, "reason": reason, "canary": controller.report(),
+        })
+        self.telemetry.record_event(
+            "canary_rolled_back", reason,
+            request_ids=controller.recent_request_ids(),
+            challenger=label, canary=controller.report(),
+        )
+        controller.close()
+        _log.warning(
+            "canary rolled back",
+            extra={"challenger": label, "reason": reason},
+        )
 
     # ------------------------------------------------------------------
     # Introspection / shutdown
@@ -318,8 +630,20 @@ class PredictionService:
             self._breaches = 0
         if was_degraded:
             self.telemetry.record_event(
-                "restored", "operator restore: climbed back to the model path"
+                "restored", "operator restore: climbed back to the model path",
+                restored_by="operator",
             )
+
+    def lifecycle(self) -> Dict[str, Any]:
+        """JSON-ready lifecycle state: live version, transitions, canary."""
+        canary = self._canary
+        return {
+            "live": self._slot.label,
+            "version": self._slot.version,
+            "registry_model": self._registry_name,
+            "transitions": list(self._transitions),
+            "canary": canary.report() if canary is not None else None,
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Serve metrics + cache stats + degradation + telemetry, JSON-ready."""
@@ -339,11 +663,13 @@ class PredictionService:
             "metrics": metrics,
             "sampler_cache": self.model.sampler_cache_stats(),
             "telemetry": self.telemetry.snapshot(),
+            "lifecycle": self.lifecycle(),
         }
 
     def health(self) -> Dict[str, Any]:
         """Cheap liveness/degradation probe for load balancers and CLIs."""
         slo = self.telemetry.slo
+        canary = self._canary
         return {
             "status": "degraded" if self._degraded else "ok",
             "name": self.name,
@@ -352,10 +678,15 @@ class PredictionService:
             "queue_depth": self._batcher.queue_depth,
             "slo_breaching": slo.breaching,
             "window": slo.window(),
+            "canary": canary.state if canary is not None else None,
         }
 
     def close(self, drain: bool = True) -> None:
-        """Shut the request queue down (idempotent)."""
+        """Shut the request queue and canary down (idempotent)."""
+        controller = self._canary
+        if controller is not None:
+            controller.cancel("service closing")
+            controller.close()
         self._batcher.close(drain=drain)
 
     def __enter__(self) -> "PredictionService":

@@ -10,7 +10,9 @@ Covered sources:
 * ``docs/tutorial.md``       — all blocks, run sequentially in one
   shared namespace (the tutorial is one program told in steps);
 * ``README.md``              — the quickstart block, standalone;
-* ``docs/serving.md``        — the serving quickstart block, standalone;
+* ``docs/serving.md``        — all blocks, run sequentially in one
+  shared namespace (quickstart, then the hot-swap + canary lifecycle
+  walkthrough that continues it);
 * ``docs/observability.md``  — all blocks (spans, metrics, serving
   telemetry, logging), run sequentially in one shared namespace.
 
@@ -64,12 +66,15 @@ def test_readme_quickstart_runs(tmp_path, monkeypatch):
     run_blocks("README.md", blocks[:1])
 
 
-def test_serving_quickstart_runs(tmp_path, monkeypatch):
+def test_serving_walkthrough_runs(tmp_path, monkeypatch):
+    """Quickstart + hot-swap + canary blocks compose into one program."""
     monkeypatch.chdir(tmp_path)
     blocks = python_blocks("docs/serving.md")
-    run_blocks("docs/serving.md", blocks[:1])
-    # The quickstart publishes version 1 into a relative registry root.
+    assert len(blocks) >= 3, "serving guide lost its lifecycle walkthrough"
+    run_blocks("docs/serving.md", blocks)
+    # The quickstart publishes v1, the lifecycle walkthrough v2.
     assert (tmp_path / "models" / "churn" / "v1" / "manifest.json").exists()
+    assert (tmp_path / "models" / "churn" / "v2" / "manifest.json").exists()
     assert (tmp_path / "models" / "churn" / "index.json").exists()
 
 
@@ -86,7 +91,7 @@ def test_snippet_floor():
     total = (
         len(python_blocks("docs/tutorial.md"))
         + len(python_blocks("README.md")[:1])
-        + len(python_blocks("docs/serving.md")[:1])
+        + len(python_blocks("docs/serving.md"))
         + len(python_blocks("docs/observability.md"))
     )
     assert total >= MIN_SNIPPETS, f"only {total} doc snippets are executed"

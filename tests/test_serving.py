@@ -65,7 +65,7 @@ def entity_keys(model, count):
 # ----------------------------------------------------------------------
 # MicroBatcher semantics (controllable runner, no model)
 # ----------------------------------------------------------------------
-def echo_runner(op, k, keys, cutoffs):
+def echo_runner(op, k, keys, cutoffs, context=None):
     return np.asarray(keys, dtype=np.float64) * 2.0
 
 
@@ -84,7 +84,7 @@ def test_batcher_resolves_in_submission_order():
 def test_batcher_coalesces_a_burst_into_few_calls():
     calls = []
 
-    def counting_runner(op, k, keys, cutoffs):
+    def counting_runner(op, k, keys, cutoffs, context=None):
         calls.append(len(keys))
         return np.zeros(len(keys))
 
@@ -105,7 +105,7 @@ def test_queue_full_fast_rejects():
     release = threading.Event()
     started = threading.Event()
 
-    def blocking_runner(op, k, keys, cutoffs):
+    def blocking_runner(op, k, keys, cutoffs, context=None):
         started.set()
         release.wait(10.0)
         return np.zeros(len(keys))
@@ -134,7 +134,7 @@ def test_deadline_expired_while_queued_skips_execution():
     started = threading.Event()
     executed_rows = []
 
-    def blocking_runner(op, k, keys, cutoffs):
+    def blocking_runner(op, k, keys, cutoffs, context=None):
         if not started.is_set():
             started.set()
             release.wait(10.0)
@@ -159,7 +159,7 @@ def test_deadline_expired_while_queued_skips_execution():
 
 
 def test_deadline_expiry_mid_batch_delivers_error_not_late_result():
-    def slow_runner(op, k, keys, cutoffs):
+    def slow_runner(op, k, keys, cutoffs, context=None):
         time.sleep(0.08)
         return np.zeros(len(keys))
 
@@ -177,7 +177,7 @@ def test_close_without_drain_rejects_queued_requests():
     release = threading.Event()
     started = threading.Event()
 
-    def blocking_runner(op, k, keys, cutoffs):
+    def blocking_runner(op, k, keys, cutoffs, context=None):
         started.set()
         release.wait(10.0)
         return np.zeros(len(keys))

@@ -383,7 +383,7 @@ class TestRequestIdPropagation:
         gate, blocking = threading.Event(), threading.Event()
         runner_ids: list = []
 
-        def runner(op, k, keys, cutoffs):
+        def runner(op, k, keys, cutoffs, context=None):
             runner_ids.append(current_request_ids())
             if keys[0] == -1:
                 blocking.set()
@@ -438,7 +438,7 @@ class TestRequestIdPropagation:
             TelemetryConfig(enabled=True, trace_sample_rate=0.0)
         )
         batcher = MicroBatcher(
-            lambda op, k, keys, cutoffs: np.zeros(len(keys)),
+            lambda op, k, keys, cutoffs, context=None: np.zeros(len(keys)),
             max_wait_ms=0.0, telemetry=telemetry,
         )
         try:
