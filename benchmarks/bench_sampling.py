@@ -7,13 +7,27 @@ sampling under each execution path:
 * ``vectorized``       — vectorized sampler, serial
 * ``cached-cold``      — vectorized + LRU cache, first epoch (all misses)
 * ``cached-warm``      — same sampler, second epoch (all hits)
-* ``parallel-4``       — 4 worker processes + cache, cold epoch
+* ``parallel-4``       — 4 workers on the shared-memory graph store, cold epoch
 * ``parallel-4-warm``  — same loader, warm epoch
 
 Every path draws under the deterministic contract
 (:mod:`repro.graph.cache`), and the run cross-checks a sample of
 batches for bit-identity between the serial and parallel paths before
 reporting numbers — a benchmark of a diverging sampler is meaningless.
+
+Two acceptance gates, both asserted by ``--check`` *and* by a plain
+run:
+
+* ``cold_parallel_speedup`` — the cold ``parallel-4`` epoch must beat
+  serial reference throughput by ≥3×.  This is the gate that actually
+  measures parallel sampling; it was the historical flatline (~1×)
+  when workers shipped pickled subgraphs back over the pipe.
+* ``warm_parallel_speedup`` — the warm epoch (all cache hits) must
+  stay ≥2×; it measures the memoization path.
+
+The run also audits ``/dev/shm`` for orphaned ``repro_shm_*``
+segments after all loaders close (``shm_leak_check`` in the report);
+a leak fails the run.
 
 Usage::
 
@@ -23,8 +37,8 @@ Usage::
 ``--check`` re-runs the suite and exits non-zero if any mode's
 throughput dropped more than 30% below the baseline file, or if the
 differential check fails.  The file doubles as a pytest module (run
-``pytest benchmarks/bench_sampling.py``) asserting the acceptance
-floor: warm-cache parallel sampling at ≥2× reference throughput.
+``pytest benchmarks/bench_sampling.py``) asserting the gates on a
+smaller workload.
 """
 
 from __future__ import annotations
@@ -41,13 +55,16 @@ from repro.datasets import make_ecommerce
 from repro.graph import NeighborSampler, VectorizedNeighborSampler, build_graph
 from repro.graph.cache import CachedSampler, LRUSubgraphCache
 from repro.graph.parallel import ParallelSampleLoader
+from repro.graph.shared import list_shared_segments
 
 DAY = 86400
-REGRESSION_TOLERANCE = 0.30  # fail --check below 70% of baseline throughput
-ACCEPTANCE_SPEEDUP = 2.0     # warm parallel path must beat reference by this
+REGRESSION_TOLERANCE = 0.30   # fail --check below 70% of baseline throughput
+ACCEPTANCE_SPEEDUP = 2.0      # warm parallel path must beat reference by this
+REQUIRED_COLD_SPEEDUP = 3.0   # cold parallel path must beat reference by this
+BATCH_SIZE = 256
 
 
-def build_workload(num_customers: int = 240, num_products: int = 60, seed: int = 0):
+def build_workload(num_customers: int = 720, num_products: int = 180, seed: int = 0):
     """Graph + seed arrays + shuffled batches for one synthetic epoch."""
     db = make_ecommerce(num_customers=num_customers, num_products=num_products, seed=seed)
     graph = build_graph(db)
@@ -56,8 +73,7 @@ def build_workload(num_customers: int = 240, num_products: int = 60, seed: int =
     ids = np.tile(np.arange(num_customers, dtype=np.int64), len(cutoffs))
     times = np.repeat(cutoffs, num_customers)
     order = np.random.default_rng(0).permutation(len(ids))
-    batch_size = 64
-    batches = [order[i: i + batch_size] for i in range(0, len(order), batch_size)]
+    batches = [order[i: i + BATCH_SIZE] for i in range(0, len(order), BATCH_SIZE)]
     return graph, ids, times, batches
 
 
@@ -100,7 +116,14 @@ def run_epoch(path, ids, times, batches) -> None:
 
 
 def time_mode(graph, mode: str, ids, times, batches) -> float:
-    """Seconds for the *measured* epoch of one mode (warm modes time epoch 2)."""
+    """Seconds for the *measured* epoch of one mode (warm modes time epoch 2).
+
+    Loader construction — including the shared-memory packing and the
+    eager worker fork — happens before the clock starts: it is
+    per-run setup, amortized over every epoch of a training job.  The
+    ``parallel-4`` timing is therefore a true cold *epoch*: empty
+    cache, all batches sampled by workers.
+    """
     path, epochs = make_path(graph, mode)
     try:
         for _ in range(epochs - 1):
@@ -147,7 +170,8 @@ def differential_check(graph, ids, times, batches, sample_count: int = 8) -> boo
     return True
 
 
-def run_suite(num_customers: int = 240) -> Dict:
+def run_suite(num_customers: int = 720) -> Dict:
+    segments_before = set(list_shared_segments())
     graph, ids, times, batches = build_workload(num_customers=num_customers)
     report: Dict = {
         "workload": {
@@ -156,7 +180,7 @@ def run_suite(num_customers: int = 240) -> Dict:
             "num_seeds": len(ids),
             "num_batches": len(batches),
             "fanouts": [4, 4],
-            "batch_size": 64,
+            "batch_size": BATCH_SIZE,
         },
         "modes": {},
     }
@@ -171,11 +195,18 @@ def run_suite(num_customers: int = 240) -> Dict:
     base_rate = report["modes"]["reference"]["seeds_per_sec"]
     for entry in report["modes"].values():
         entry["speedup_vs_reference"] = round(entry["seeds_per_sec"] / base_rate, 2)
+    leaked = sorted(set(list_shared_segments()) - segments_before)
+    report["shm_leak_check"] = {"leaked_segments": leaked, "clean": not leaked}
     report["acceptance"] = {
+        "cold_parallel_speedup": report["modes"]["parallel-4"]["speedup_vs_reference"],
         "warm_parallel_speedup": report["modes"]["parallel-4-warm"]["speedup_vs_reference"],
-        "required_speedup": ACCEPTANCE_SPEEDUP,
+        "required_cold_speedup": REQUIRED_COLD_SPEEDUP,
+        "required_warm_speedup": ACCEPTANCE_SPEEDUP,
         "passed": (
             report["differential_ok"]
+            and not leaked
+            and report["modes"]["parallel-4"]["speedup_vs_reference"]
+            >= REQUIRED_COLD_SPEEDUP
             and report["modes"]["parallel-4-warm"]["speedup_vs_reference"]
             >= ACCEPTANCE_SPEEDUP
         ),
@@ -208,7 +239,7 @@ def main(argv=None) -> int:
                         help="where to write the report (default: %(default)s)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare against a baseline report; exit 1 on regression")
-    parser.add_argument("--num-customers", type=int, default=240,
+    parser.add_argument("--num-customers", type=int, default=720,
                         help="workload size (default: %(default)s)")
     args = parser.parse_args(argv)
 
@@ -217,8 +248,12 @@ def main(argv=None) -> int:
         print(f"{mode:<16} {entry['seconds']:>8.3f}s  {entry['seeds_per_sec']:>10.0f} seeds/s"
               f"  {entry['speedup_vs_reference']:>6.2f}x")
     print(f"differential check: {'ok' if report['differential_ok'] else 'FAILED'}")
+    print(f"cold parallel speedup: {report['acceptance']['cold_parallel_speedup']:.2f}x "
+          f"(required {REQUIRED_COLD_SPEEDUP:.1f}x)")
     print(f"warm parallel speedup: {report['acceptance']['warm_parallel_speedup']:.2f}x "
           f"(required {ACCEPTANCE_SPEEDUP:.1f}x)")
+    leak = report["shm_leak_check"]
+    print(f"shm leak check: {'clean' if leak['clean'] else 'LEAKED ' + str(leak['leaked_segments'])}")
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -234,21 +269,27 @@ def main(argv=None) -> int:
         if problems:
             return 1
     if not report["acceptance"]["passed"]:
-        print("ACCEPTANCE: warm parallel path below required speedup", file=sys.stderr)
+        print("ACCEPTANCE: parallel gates or leak check failed", file=sys.stderr)
         return 1
     return 0
 
 
 # -- pytest entry point (run: pytest benchmarks/bench_sampling.py) -----
 def test_sampling_throughput_acceptance(tmp_path):
-    report = run_suite(num_customers=120)
+    # Smaller workload than the CLI default keeps the test quick; the
+    # full ≥3x cold gate binds on the default workload in main() (the
+    # CI perf-smoke job).  Here the cold path must at least clear the
+    # historical ~1x flatline.
+    report = run_suite(num_customers=360)
     assert report["differential_ok"]
+    assert report["shm_leak_check"]["clean"]
     assert report["modes"]["cached-warm"]["speedup_vs_reference"] >= ACCEPTANCE_SPEEDUP
     assert report["modes"]["parallel-4-warm"]["speedup_vs_reference"] >= ACCEPTANCE_SPEEDUP
+    assert report["acceptance"]["cold_parallel_speedup"] >= 1.5
     out = tmp_path / "BENCH_sampling.json"
     with open(out, "w") as handle:
         json.dump(report, handle)
-    assert json.load(open(out))["acceptance"]["passed"]
+    assert json.load(open(out))["acceptance"]["cold_parallel_speedup"] >= 1.5
 
 
 if __name__ == "__main__":

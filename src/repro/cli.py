@@ -46,6 +46,8 @@ Throughput flags (``fit`` / ``query``; see docs/performance.md):
 * ``--num-workers N`` shards minibatch subgraph sampling across N
   worker processes so sampling overlaps training (deterministic:
   results are bit-identical to the serial path for a fixed seed).
+  Workers view the graph through a shared-memory CSR store by
+  default; ``--no-shared-graph`` falls back to fork inheritance.
 * ``--cache-size BATCHES`` memoizes sampled subgraphs in an LRU keyed
   on batch content, reused across epochs and at inference.
 * ``--prefetch-batches N`` bounds the in-flight sampling window.
@@ -130,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--prefetch-batches", type=int, default=2, metavar="N",
             help="batches kept in flight beyond one per worker",
+        )
+        p.add_argument(
+            "--no-shared-graph", dest="shared_graph", action="store_false",
+            help="disable the shared-memory CSR graph store for sampler "
+                 "workers (fall back to fork inheritance; bit-identical "
+                 "results either way)",
         )
         p.add_argument(
             "--infer-batch-size", type=int, default=None, metavar="N",
@@ -345,6 +353,7 @@ def _planner_config(args: argparse.Namespace) -> PlannerConfig:
         num_workers=args.num_workers,
         cache_size=args.cache_size,
         prefetch_batches=args.prefetch_batches,
+        shared_graph=args.shared_graph,
         infer_batch_size=args.infer_batch_size,
         compute_dtype=args.compute_dtype,
     )

@@ -56,6 +56,13 @@ def graph_fingerprint(graph: HeteroGraph) -> str:
     fingerprint; any change to node counts, edges, or timestamps
     changes it.  Computed once per graph instance and memoized, since
     it hashes every edge array.
+
+    The digest covers exactly the CSR layout (``indptr``, ``nbr_src``,
+    ``nbr_time``) plus node counts and timestamps — the same arrays a
+    :class:`~repro.graph.shared.SharedGraphStore` packs — so a
+    shared-memory view of a graph (which carries the precomputed
+    fingerprint in its manifest) derives identical content keys, and
+    worker-sampled batches stay bit-identical to serial ones.
     """
     cached = getattr(graph, "_fingerprint", None)
     if cached is not None:

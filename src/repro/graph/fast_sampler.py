@@ -174,7 +174,7 @@ class VectorizedNeighborSampler:
             obs_trace.add_counter("sampler.nodes_sampled", subgraph.total_nodes())
             obs_trace.add_counter("sampler.edges_sampled", subgraph.total_edges())
             obs_trace.add_counter("sampler.fanout_truncations", truncations)
-        return subgraph
+        return subgraph.finalize()
 
     def _expand_edge_type(
         self,
@@ -276,6 +276,7 @@ class VectorizedNeighborSampler:
         for j, edge_type in enumerate(incoming):
             _, counts = self._valid_counts(edge_type, origs, times)
             degrees[:, j] = counts
+        # New nodes of one hop are interned sequentially per type, so
+        # the sorted locals form the next contiguous block.
         order = np.argsort(locals_)
-        for i in order.tolist():
-            subgraph.set_degrees(node_type, int(locals_[i]), degrees[i].tolist())
+        subgraph.set_degrees_block(node_type, locals_[order], degrees[order])

@@ -26,8 +26,25 @@ from repro.resilience.faults import fault_point
 __all__ = ["SampledSubgraph", "NeighborSampler"]
 
 
+def _concat_parts(parts: List[object]) -> np.ndarray:
+    """Collapse a mixed list of int lists / int64 arrays into one array."""
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    if len(parts) == 1:
+        return np.asarray(parts[0], dtype=np.int64)
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+
+
 class SampledSubgraph:
     """The result of one sampling call.
+
+    Internally, node/edge/degree columns are stored as *parts* — plain
+    python lists fed by the scalar reference-sampler API plus numpy
+    blocks appended by the vectorized sampler — and collapsed into
+    contiguous int64/float64 arrays by :meth:`finalize`.  The compact
+    array form (:meth:`to_arrays` / :meth:`from_arrays`) is what
+    parallel sampler workers ship back to the parent instead of a
+    pickled object graph.
 
     Attributes
     ----------
@@ -41,11 +58,17 @@ class SampledSubgraph:
     def __init__(self, seed_type: str) -> None:
         self.seed_type = seed_type
         self.seed_locals: np.ndarray = np.empty(0, dtype=np.int64)
-        self._orig: Dict[str, List[int]] = {}
-        self._ctx_time: Dict[str, List[int]] = {}
+        # Per node type: parts of original ids / context times.  A part
+        # is either a python list (scalar appends) or an int64 array.
+        self._orig: Dict[str, List[object]] = {}
+        self._ctx_time: Dict[str, List[object]] = {}
         self._index: Dict[str, Dict[Tuple[int, int], int]] = {}
-        self._edges: Dict[EdgeType, Tuple[List[int], List[int]]] = {}
-        self._degrees: Dict[str, List[List[float]]] = {}
+        # Per edge type: (src parts, dst parts).
+        self._edges: Dict[EdgeType, Tuple[List[object], List[object]]] = {}
+        # Per node type: parts of degree rows — a part is either one
+        # row (list of floats) or a 2D float64 block.
+        self._degrees: Dict[str, List[object]] = {}
+        self._degree_rows: Dict[str, int] = {}
 
     # -- construction (used by the sampler) ----------------------------
     def add_node(self, node_type: str, orig_id: int, ctx_time: int) -> Tuple[int, bool]:
@@ -57,28 +80,131 @@ class SampledSubgraph:
             return local, False
         local = len(index)
         index[key] = local
-        self._orig.setdefault(node_type, []).append(orig_id)
-        self._ctx_time.setdefault(node_type, []).append(ctx_time)
+        self._orig.setdefault(node_type, [[]])[-1].append(orig_id)
+        self._ctx_time.setdefault(node_type, [[]])[-1].append(ctx_time)
         return local, True
 
     def set_degrees(self, node_type: str, local: int, degrees: List[float]) -> None:
         """Record time-valid in-degrees (one per incoming edge type)."""
-        rows = self._degrees.setdefault(node_type, [])
-        if local != len(rows):
+        rows = self._degree_rows.get(node_type, 0)
+        if local != rows:
             raise ValueError("degrees must be recorded in node-creation order")
-        rows.append(degrees)
+        self._degrees.setdefault(node_type, []).append(degrees)
+        self._degree_rows[node_type] = rows + 1
+
+    def set_degrees_block(
+        self, node_type: str, locals_: np.ndarray, degrees: np.ndarray
+    ) -> None:
+        """Bulk variant of :meth:`set_degrees`.
+
+        ``locals_`` must be the next contiguous ascending run of local
+        indices (the vectorized sampler interns a hop's new nodes
+        sequentially, so this always holds there).
+        """
+        if len(locals_) == 0:
+            return
+        rows = self._degree_rows.get(node_type, 0)
+        expected = np.arange(rows, rows + len(locals_), dtype=np.int64)
+        if not np.array_equal(np.asarray(locals_, dtype=np.int64), expected):
+            raise ValueError("degree blocks must cover the next contiguous locals")
+        block = np.asarray(degrees, dtype=np.float64)
+        self._degrees.setdefault(node_type, []).append(block)
+        self._degree_rows[node_type] = rows + len(locals_)
 
     def add_edge(self, edge_type: EdgeType, src_local: int, dst_local: int) -> None:
         """Record one edge between local node instances."""
-        src_list, dst_list = self._edges.setdefault(edge_type, ([], []))
-        src_list.append(src_local)
-        dst_list.append(dst_local)
+        src_parts, dst_parts = self._edges.setdefault(edge_type, ([], []))
+        if not src_parts or not isinstance(src_parts[-1], list):
+            src_parts.append([])
+            dst_parts.append([])
+        src_parts[-1].append(src_local)
+        dst_parts[-1].append(dst_local)
 
     def add_edges(self, edge_type: EdgeType, src_locals, dst_locals) -> None:
-        """Bulk variant of :meth:`add_edge` (sequences of local ids)."""
-        src_list, dst_list = self._edges.setdefault(edge_type, ([], []))
-        src_list.extend(int(s) for s in src_locals)
-        dst_list.extend(int(d) for d in dst_locals)
+        """Bulk variant of :meth:`add_edge` (appends one array block)."""
+        src_parts, dst_parts = self._edges.setdefault(edge_type, ([], []))
+        src_parts.append(np.asarray(src_locals, dtype=np.int64))
+        dst_parts.append(np.asarray(dst_locals, dtype=np.int64))
+
+    def finalize(self) -> "SampledSubgraph":
+        """Collapse part lists into contiguous arrays (idempotent).
+
+        Samplers call this once sampling ends; afterwards every
+        accessor returns (views of) a single contiguous array and the
+        subgraph is cheap to cache, compare, and serialize.
+        """
+        for store in (self._orig, self._ctx_time):
+            for node_type, parts in store.items():
+                store[node_type] = [_concat_parts(parts)]
+        for edge_type, (src_parts, dst_parts) in self._edges.items():
+            self._edges[edge_type] = (
+                [_concat_parts(src_parts)],
+                [_concat_parts(dst_parts)],
+            )
+        for node_type, parts in self._degrees.items():
+            self._degrees[node_type] = [self._collapse_degrees(parts)]
+        return self
+
+    @staticmethod
+    def _collapse_degrees(parts: List[object]) -> np.ndarray:
+        if len(parts) == 1 and isinstance(parts[0], np.ndarray):
+            return np.asarray(parts[0], dtype=np.float64)
+        blocks: List[np.ndarray] = []
+        pending: List[List[float]] = []
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                if pending:
+                    blocks.append(np.asarray(pending, dtype=np.float64))
+                    pending = []
+                blocks.append(np.asarray(part, dtype=np.float64))
+            else:
+                pending.append(part)
+        if pending:
+            blocks.append(np.asarray(pending, dtype=np.float64))
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    # -- compact wire format (used by parallel sampler workers) ---------
+    def to_arrays(self) -> Dict[str, object]:
+        """Serialize to a dict of flat numpy arrays.
+
+        The payload contains no python object graph — just the seed
+        metadata plus per-type id/time/edge/degree columns — so it is
+        cheap to pickle across a process boundary and rebuilds without
+        re-interning via :meth:`from_arrays`.
+        """
+        self.finalize()
+        return {
+            "seed_type": self.seed_type,
+            "seed_locals": self.seed_locals,
+            "nodes": {
+                node_type: (parts[0], self._ctx_time[node_type][0])
+                for node_type, parts in self._orig.items()
+            },
+            "edges": {
+                edge_type: (src_parts[0], dst_parts[0])
+                for edge_type, (src_parts, dst_parts) in self._edges.items()
+            },
+            "degrees": {node_type: parts[0] for node_type, parts in self._degrees.items()},
+        }
+
+    @classmethod
+    def from_arrays(cls, payload: Dict[str, object]) -> "SampledSubgraph":
+        """Rebuild a (read-only) subgraph from :meth:`to_arrays` output."""
+        subgraph = cls(payload["seed_type"])
+        subgraph.seed_locals = np.asarray(payload["seed_locals"], dtype=np.int64)
+        for node_type, (orig, ctx) in payload["nodes"].items():
+            subgraph._orig[node_type] = [np.asarray(orig, dtype=np.int64)]
+            subgraph._ctx_time[node_type] = [np.asarray(ctx, dtype=np.int64)]
+        for edge_type, (src, dst) in payload["edges"].items():
+            subgraph._edges[edge_type] = (
+                [np.asarray(src, dtype=np.int64)],
+                [np.asarray(dst, dtype=np.int64)],
+            )
+        for node_type, block in payload["degrees"].items():
+            block = np.asarray(block, dtype=np.float64)
+            subgraph._degrees[node_type] = [block]
+            subgraph._degree_rows[node_type] = len(block)
+        return subgraph
 
     # -- read access (used by the model) -------------------------------
     @property
@@ -93,28 +219,30 @@ class SampledSubgraph:
 
     def num_nodes(self, node_type: str) -> int:
         """Instances of one node type."""
-        return len(self._orig.get(node_type, ()))
+        return sum(len(p) for p in self._orig.get(node_type, ()))
 
     def total_nodes(self) -> int:
         """Instances over all types."""
-        return sum(len(v) for v in self._orig.values())
+        return sum(self.num_nodes(node_type) for node_type in self._orig)
 
     def total_edges(self) -> int:
         """Edges over all types."""
-        return sum(len(src) for src, _ in self._edges.values())
+        return sum(
+            sum(len(p) for p in src_parts) for src_parts, _ in self._edges.values()
+        )
 
     def node_orig(self, node_type: str) -> np.ndarray:
         """Original (full-graph) node ids per instance."""
-        return np.asarray(self._orig.get(node_type, []), dtype=np.int64)
+        return _concat_parts(self._orig.get(node_type, []))
 
     def node_ctx_time(self, node_type: str) -> np.ndarray:
         """Seed-context time per instance."""
-        return np.asarray(self._ctx_time.get(node_type, []), dtype=np.int64)
+        return _concat_parts(self._ctx_time.get(node_type, []))
 
     def edges_for(self, edge_type: EdgeType) -> Tuple[np.ndarray, np.ndarray]:
         """(src_local, dst_local) arrays for one edge type."""
-        src, dst = self._edges.get(edge_type, ([], []))
-        return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+        src_parts, dst_parts = self._edges.get(edge_type, ((), ()))
+        return _concat_parts(list(src_parts)), _concat_parts(list(dst_parts))
 
     def node_degrees(self, node_type: str) -> np.ndarray:
         """Time-valid in-degrees per instance, shape (n, k).
@@ -123,10 +251,24 @@ class SampledSubgraph:
         full graph, in :meth:`HeteroGraph.edge_types_into` order.
         Types with no incoming relations return shape (n, 0).
         """
-        rows = self._degrees.get(node_type, [])
-        if not rows:
+        parts = self._degrees.get(node_type, [])
+        if not parts:
             return np.zeros((self.num_nodes(node_type), 0))
-        return np.asarray(rows, dtype=np.float64)
+        return self._collapse_degrees(parts)
+
+    def zero_degree_channel(self, node_type: str, channel: int) -> None:
+        """Zero one in-degree channel across every node of ``node_type``.
+
+        Used by relation knockouts (``explain_relations``): removing an
+        edge type's messages must also blank its degree feature, and
+        callers cannot poke ``_degrees`` directly because its parts mix
+        per-node rows with 2-D blocks.
+        """
+        for part in self._degrees.get(node_type, []):
+            if isinstance(part, np.ndarray) and part.ndim == 2:
+                part[:, channel] = 0.0
+            else:
+                part[channel] = 0.0
 
 
 class NeighborSampler:
@@ -220,7 +362,7 @@ class NeighborSampler:
             obs_trace.add_counter("sampler.nodes_sampled", subgraph.total_nodes())
             obs_trace.add_counter("sampler.edges_sampled", subgraph.total_edges())
             obs_trace.add_counter("sampler.fanout_truncations", truncations)
-        return subgraph
+        return subgraph.finalize()
 
     def _record_degrees(
         self, subgraph: SampledSubgraph, node_type: str, orig: int, ctx_time: int, local: int

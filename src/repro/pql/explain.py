@@ -31,10 +31,8 @@ def _knock_out(subgraph: SampledSubgraph, edge_type: EdgeType, graph) -> None:
     subgraph._edges.pop(edge_type, None)
     dst = edge_type.dst
     incoming = graph.edge_types_into(dst)
-    if edge_type in incoming and dst in subgraph._degrees:
-        index = incoming.index(edge_type)
-        for row in subgraph._degrees[dst]:
-            row[index] = 0.0
+    if edge_type in incoming:
+        subgraph.zero_degree_channel(dst, incoming.index(edge_type))
 
 
 def explain_relations(

@@ -150,6 +150,11 @@ class PlannerConfig:
     num_workers: int = 0
     #: Batches kept in flight beyond one per worker.
     prefetch_batches: int = 2
+    #: Serve sampler workers from a shared-memory CSR graph store
+    #: (zero-copy; the default).  ``False`` falls back to plain fork
+    #: inheritance of the graph — results are bit-identical either
+    #: way; see :mod:`repro.graph.shared`.
+    shared_graph: bool = True
     #: Compute dtype for model parameters and activations: "float64"
     #: (default, the reference numerics) or "float32" (the fast
     #: training path; gradcheck always runs in float64).
@@ -205,6 +210,7 @@ class PlannerConfig:
             seed=self.seed,
             num_workers=self.num_workers,
             prefetch_batches=self.prefetch_batches,
+            shared_graph=self.shared_graph,
             infer_batch_size=self.infer_batch_size,
         )
 
@@ -326,6 +332,7 @@ class PredictiveQueryPlanner:
                         sampler,
                         num_workers=self.config.num_workers,
                         prefetch_batches=self.config.prefetch_batches,
+                        shared_graph=self.config.shared_graph,
                     )
                 resume = bool(
                     self.resilience

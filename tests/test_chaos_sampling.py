@@ -1,0 +1,196 @@
+"""Chaos tests for zero-copy parallel sampling.
+
+The parallel loader owns real OS resources — forked workers and a
+shared-memory segment — so the failure modes worth testing are
+process-level: a worker SIGKILLed mid-epoch, a parent that exits
+without cleanup, a parent killed with ``kill -9``.  The invariants:
+
+* a killed worker degrades the epoch to in-process sampling with
+  **bit-identical** results (the content-keyed contract makes the
+  fallback invisible);
+* no ``repro_shm_*`` segment survives in ``/dev/shm`` after normal
+  exit, worker death, or parent ``kill -9`` (the resource tracker
+  covers the last case).
+
+The subprocess probes are marked ``slow`` (they spawn interpreters);
+the in-process kill test runs in tier-1.  The CI chaos job runs the
+whole file.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import NeighborSampler, build_graph
+from repro.graph.cache import CachedSampler, LRUSubgraphCache
+from repro.graph.parallel import ParallelSampleLoader
+from repro.graph.shared import list_shared_segments
+from repro.obs import get_registry
+from tests.conftest import assert_subgraphs_identical, shop_db
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_loader(graph, num_workers=2, seed=0):
+    base = NeighborSampler(graph, fanouts=[3, 3], rng=np.random.default_rng(0))
+    sampler = CachedSampler(base, base_seed=seed, cache=LRUSubgraphCache(16))
+    return ParallelSampleLoader(sampler, num_workers=num_workers)
+
+
+def epoch_batches():
+    ids = np.array([0, 1], dtype=np.int64)
+    times = np.array([10**9, 10**9], dtype=np.int64)
+    batches = [np.array([0]), np.array([1]), np.array([0, 1]), np.array([1, 0])]
+    return ids, times, batches
+
+
+def run_probe(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(script)],
+        capture_output=True, text=True, timeout=120, env=env, cwd=REPO_ROOT,
+    )
+
+
+def segment_from(output: str) -> str:
+    for line in output.splitlines():
+        if line.startswith("SEGMENT:"):
+            return line.split(":", 1)[1].strip()
+    raise AssertionError(f"probe printed no SEGMENT line:\n{output}")
+
+
+def wait_gone(name: str, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if name not in list_shared_segments():
+            return True
+        time.sleep(0.25)
+    return False
+
+
+class TestWorkerDeath:
+    def test_sigkill_worker_falls_back_with_identical_results(self):
+        """SIGKILL every worker mid-epoch: results stay bit-identical."""
+        graph = build_graph(shop_db())
+        ids, times, batches = epoch_batches()
+        serial = CachedSampler(
+            NeighborSampler(graph, fanouts=[3, 3], rng=np.random.default_rng(0)),
+            base_seed=0,
+        )
+        loader = make_loader(graph)
+        if loader._executor is None:
+            pytest.skip("worker pool unavailable on this host")
+        store_name = loader._store.name if loader._store is not None else None
+        before = get_registry().counter("sampler.parallel.fallbacks").value
+        try:
+            # Kill the forked workers before any chunk is dispatched:
+            # the first submissions hit a broken pool mid-flight.
+            for pid in list(loader._executor._processes):
+                os.kill(pid, signal.SIGKILL)
+            produced = list(loader.iter_epoch("customers", ids, times, batches))
+            assert len(produced) == len(batches)
+            for batch, subgraph in produced:
+                assert_subgraphs_identical(
+                    subgraph, serial.sample("customers", ids[batch], times[batch])
+                )
+            # The pool was retired and a fallback recorded.
+            assert loader._executor is None
+            assert get_registry().counter("sampler.parallel.fallbacks").value > before
+            # Worker death already released the shared segment.
+            assert loader._store is None
+            if store_name is not None:
+                assert store_name not in list_shared_segments()
+        finally:
+            loader.close()
+        assert not [s for s in list_shared_segments() if store_name and s == store_name]
+
+    def test_explicit_close_unlinks_segment(self):
+        graph = build_graph(shop_db())
+        loader = make_loader(graph)
+        name = loader._store.name if loader._store is not None else None
+        ids, times, batches = epoch_batches()
+        list(loader.iter_epoch("customers", ids, times, batches))
+        loader.close()
+        assert loader._store is None
+        if name is not None:
+            assert name not in list_shared_segments()
+
+
+@pytest.mark.slow
+class TestProcessExitCleanup:
+    """Subprocess probes of /dev/shm across process lifetimes."""
+
+    def test_normal_exit_without_close_leaves_no_segment(self):
+        """A loader abandoned at interpreter exit is cleaned by atexit."""
+        result = run_probe("""
+            import numpy as np
+            from repro.datasets import make_ecommerce
+            from repro.graph import NeighborSampler, build_graph
+            from repro.graph.cache import CachedSampler, LRUSubgraphCache
+            from repro.graph.parallel import ParallelSampleLoader
+
+            graph = build_graph(make_ecommerce(num_customers=12, num_products=6, seed=0))
+            base = NeighborSampler(graph, fanouts=[2, 2], rng=np.random.default_rng(0))
+            loader = ParallelSampleLoader(
+                CachedSampler(base, base_seed=0, cache=LRUSubgraphCache(8)),
+                num_workers=2,
+            )
+            print("SEGMENT:" + (loader._store.name if loader._store else "none"), flush=True)
+            ids = np.arange(8, dtype=np.int64)
+            times = np.full(8, 10**9, dtype=np.int64)
+            for _ in loader.iter_epoch("customers", ids, times,
+                                       [np.arange(4), np.arange(4, 8)]):
+                pass
+            # Exit WITHOUT loader.close(): atexit must unlink the segment.
+        """)
+        assert result.returncode == 0, result.stderr
+        name = segment_from(result.stdout)
+        if name != "none":
+            assert wait_gone(name, timeout=10), f"{name} leaked after normal exit"
+
+    def test_parent_kill9_store_only(self):
+        """kill -9 right after create: the resource tracker unlinks."""
+        result = run_probe("""
+            import os, signal
+            from repro.graph import SharedGraphStore, build_graph
+            from repro.datasets import make_ecommerce
+
+            graph = build_graph(make_ecommerce(num_customers=10, num_products=5, seed=0))
+            store = SharedGraphStore.create(graph)
+            print("SEGMENT:" + store.name, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        assert result.returncode == -signal.SIGKILL
+        name = segment_from(result.stdout)
+        assert name != "none"
+        assert wait_gone(name), f"{name} survived parent kill -9"
+
+    def test_parent_kill9_with_live_workers(self):
+        """kill -9 with forked workers attached: segment still dies."""
+        result = run_probe("""
+            import os, signal
+            import numpy as np
+            from repro.datasets import make_ecommerce
+            from repro.graph import NeighborSampler, build_graph
+            from repro.graph.cache import CachedSampler, LRUSubgraphCache
+            from repro.graph.parallel import ParallelSampleLoader
+
+            graph = build_graph(make_ecommerce(num_customers=12, num_products=6, seed=0))
+            base = NeighborSampler(graph, fanouts=[2, 2], rng=np.random.default_rng(0))
+            loader = ParallelSampleLoader(
+                CachedSampler(base, base_seed=0, cache=LRUSubgraphCache(8)),
+                num_workers=2,
+            )
+            print("SEGMENT:" + (loader._store.name if loader._store else "none"), flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        assert result.returncode == -signal.SIGKILL
+        name = segment_from(result.stdout)
+        if name != "none":
+            assert wait_gone(name), f"{name} survived parent kill -9 with workers"

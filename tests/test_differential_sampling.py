@@ -12,8 +12,15 @@ relationships:
 * **bit-identity**: for one implementation and seed, the serial,
   cached, and parallel paths yield identical subgraphs, identical
   training histories, and identical eval metrics — on the e-commerce
-  and forum datasets, end to end.
+  and forum datasets, end to end;
+* **seed sharding**: the bulk ``sample_shards`` path over the
+  shared-memory store matches serial and cached sampling shard for
+  shard, and a warm cache keeps serving identical results across a
+  worker kill.
 """
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -121,6 +128,91 @@ class TestSubgraphBitIdentity:
                     cached_sub = cached.sample("customers", ids[batch], times[batch])
                     assert_subgraphs_identical(serial_sub, cached_sub)
                 assert_subgraphs_identical(serial_sub, parallel_sub)
+
+
+# ----------------------------------------------------------------------
+# Seed-sharded bulk sampling over the shared-memory store
+# ----------------------------------------------------------------------
+class TestShardedSeedPath:
+    """``sample_shards``: serial == cached == parallel, shard for shard.
+
+    The loader shards the seed entities contiguously across workers;
+    each shard is one batch under the content-keyed contract, so
+    recomputing the same shard partition serially must be bit-identical.
+    """
+
+    @staticmethod
+    def shard_batches(total, shard_size):
+        return [
+            np.arange(start, min(start + shard_size, total), dtype=np.int64)
+            for start in range(0, total, shard_size)
+        ]
+
+    def check_sharded(self, graph, seed_type, impl="vectorized"):
+        n = graph.num_nodes(seed_type)
+        ids = np.arange(n, dtype=np.int64)
+        times = np.full(n, 10**10, dtype=np.int64)
+        serial = CachedSampler(build_impl(graph, impl), base_seed=0)
+        cached = CachedSampler(
+            build_impl(graph, impl), base_seed=0, cache=LRUSubgraphCache(16)
+        )
+        with ParallelSampleLoader(
+            CachedSampler(build_impl(graph, impl), base_seed=0, cache=LRUSubgraphCache(16)),
+            num_workers=2,
+        ) as loader:
+            shards = loader.sample_shards(seed_type, ids, times)
+            batches = self.shard_batches(n, max(1, -(-n // 2)))
+            assert len(shards) == len(batches)
+            for batch, shard_sub in zip(batches, shards):
+                expected = serial.sample(seed_type, ids[batch], times[batch])
+                assert_subgraphs_identical(expected, shard_sub)
+                for _ in range(2):  # second round is a cache hit
+                    assert_subgraphs_identical(
+                        expected, cached.sample(seed_type, ids[batch], times[batch])
+                    )
+
+    def test_sharded_seeds_match_serial_on_ecommerce(self, small_ecommerce_db):
+        self.check_sharded(build_graph(small_ecommerce_db), "customers")
+
+    @pytest.mark.slow
+    def test_sharded_seeds_match_serial_on_forum(self, forum_db):
+        self.check_sharded(build_graph(forum_db), "users")
+
+    def test_warm_cache_survives_worker_kill(self):
+        """Kill the workers after a warm epoch: cache hits keep flowing,
+        and fresh batches fall back in-process — all bit-identical."""
+        g = build_graph(shop_db())
+        ids = np.array([0, 1], dtype=np.int64)
+        times = np.array([400, 10**9], dtype=np.int64)
+        warm_batches = [np.array([0]), np.array([1])]
+        fresh_batches = [np.array([0, 1]), np.array([1, 0])]
+        serial = CachedSampler(build_impl(g, "reference"), base_seed=0)
+        loader = ParallelSampleLoader(
+            CachedSampler(build_impl(g, "reference"), base_seed=0, cache=LRUSubgraphCache(16)),
+            num_workers=2,
+        )
+        try:
+            if loader._executor is None:
+                pytest.skip("worker pool unavailable on this host")
+            first = {
+                tuple(batch.tolist()): sub
+                for batch, sub in loader.iter_epoch("customers", ids, times, warm_batches)
+            }
+            for pid in list(loader._executor._processes):
+                os.kill(pid, signal.SIGKILL)
+            # Replay the warm epoch: every batch is a cache hit, so the
+            # dead pool is never touched and results are unchanged.
+            for batch, sub in loader.iter_epoch("customers", ids, times, warm_batches):
+                assert_subgraphs_identical(first[tuple(batch.tolist())], sub)
+            # Fresh batches must dispatch, hit the broken pool, and
+            # degrade to in-process sampling — still bit-identical.
+            for batch, sub in loader.iter_epoch("customers", ids, times, fresh_batches):
+                assert_subgraphs_identical(
+                    serial.sample("customers", ids[batch], times[batch]), sub
+                )
+            assert loader._executor is None
+        finally:
+            loader.close()
 
 
 # ----------------------------------------------------------------------
