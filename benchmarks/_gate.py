@@ -1,0 +1,106 @@
+"""Shared ``--check`` regression-gate logic for the benchmark suite.
+
+Every benchmark writes a ``BENCH_*.json`` report with a ``modes``
+section and accepts ``--check BASELINE`` to compare a fresh run
+against a stored report.  The comparison itself is identical across
+benchmarks — per mode, per metric, fail when the current value falls
+outside a tolerance band around the baseline — so it lives here once:
+
+::
+
+    from _gate import MetricGate, mode_regressions
+
+    GATES = [
+        MetricGate("warm.rows_per_sec", direction="min", unit="rows/s"),
+        MetricGate("warm.latency_p99_ms", direction="max",
+                   slack=1.0, unit="ms"),
+    ]
+    problems = mode_regressions(report["modes"], baseline["modes"], GATES)
+
+``direction="min"`` gates throughput-like metrics (current must stay
+above ``baseline * (1 - tolerance)``); ``direction="max"`` gates
+latency/cost-like metrics (current must stay below ``baseline *
+(1 + tolerance) + slack`` — the absolute slack keeps sub-millisecond
+baselines from gating on noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["DEFAULT_TOLERANCE", "MetricGate", "metric_value", "mode_regressions"]
+
+#: The suite-wide default band: fail a mode >30% worse than baseline.
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass(frozen=True)
+class MetricGate:
+    """One gated metric: a dotted path into a mode's report entry."""
+
+    #: Dotted path inside a mode entry, e.g. ``"warm.rows_per_sec"``.
+    metric: str
+    #: ``"min"`` = higher is better (throughput); ``"max"`` = lower is
+    #: better (latency, cost).
+    direction: str = "min"
+    #: Fractional band around the baseline value.
+    tolerance: float = DEFAULT_TOLERANCE
+    #: Absolute slack added to ``max`` ceilings (same unit as the
+    #: metric); keeps tiny baselines from gating on noise.
+    slack: float = 0.0
+    #: Display unit for regression messages.
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(f"direction must be min|max, got {self.direction!r}")
+
+
+def metric_value(entry: Dict, path: str) -> float:
+    """Resolve a dotted metric path inside one mode entry."""
+    value = entry
+    for part in path.split("."):
+        value = value[part]
+    return float(value)
+
+
+def mode_regressions(
+    current_modes: Dict[str, Dict],
+    baseline_modes: Dict[str, Dict],
+    gates: Sequence[MetricGate],
+) -> List[str]:
+    """Regression messages comparing a fresh run to a baseline report.
+
+    Every baseline mode must exist in the current run and clear every
+    gate; returns an empty list when the run is clean.
+    """
+    problems: List[str] = []
+    for mode, baseline_entry in baseline_modes.items():
+        current_entry = current_modes.get(mode)
+        if current_entry is None:
+            problems.append(f"mode {mode!r} missing from current run")
+            continue
+        for gate in gates:
+            try:
+                base = metric_value(baseline_entry, gate.metric)
+            except KeyError:
+                continue  # baseline predates this gate's metric
+            current = metric_value(current_entry, gate.metric)
+            unit = f" {gate.unit}" if gate.unit else ""
+            if gate.direction == "min":
+                floor = base * (1.0 - gate.tolerance)
+                if current < floor:
+                    problems.append(
+                        f"{mode}: {gate.metric} {current:.2f}{unit} is more than "
+                        f"{gate.tolerance:.0%} below baseline {base:.2f}{unit}"
+                    )
+            else:
+                ceiling = base * (1.0 + gate.tolerance) + gate.slack
+                if current > ceiling:
+                    slack = f" (+{gate.slack:g}{unit} slack)" if gate.slack else ""
+                    problems.append(
+                        f"{mode}: {gate.metric} {current:.2f}{unit} is more than "
+                        f"{gate.tolerance:.0%}{slack} above baseline {base:.2f}{unit}"
+                    )
+    return problems

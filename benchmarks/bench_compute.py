@@ -34,6 +34,7 @@ from typing import Dict, List
 
 import numpy as np
 
+import _gate
 from repro.nn import functional as F
 from repro.nn.layers import MLP
 from repro.nn.losses import cross_entropy
@@ -215,22 +216,20 @@ def run_suite(num_examples: int = 4096) -> Dict:
     return report
 
 
+_GATES = [
+    _gate.MetricGate("examples_per_sec", direction="min",
+                     tolerance=REGRESSION_TOLERANCE, unit="examples/s"),
+]
+
+
 def check_against_baseline(report: Dict, baseline: Dict) -> List[str]:
     """Regression messages (empty when the run is clean)."""
     problems = []
     if not report["differential_ok"]:
         problems.append("differential check failed: fused+flat diverges from reference")
-    for mode, entry in baseline.get("modes", {}).items():
-        current = report["modes"].get(mode)
-        if current is None:
-            problems.append(f"mode {mode!r} missing from current run")
-            continue
-        floor = entry["examples_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
-        if current["examples_per_sec"] < floor:
-            problems.append(
-                f"{mode}: {current['examples_per_sec']:.0f} examples/s is more than "
-                f"{REGRESSION_TOLERANCE:.0%} below baseline {entry['examples_per_sec']:.0f}"
-            )
+    problems.extend(
+        _gate.mode_regressions(report["modes"], baseline.get("modes", {}), _GATES)
+    )
     return problems
 
 

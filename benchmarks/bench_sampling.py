@@ -51,6 +51,7 @@ from typing import Dict, List
 
 import numpy as np
 
+import _gate
 from repro.datasets import make_ecommerce
 from repro.graph import NeighborSampler, VectorizedNeighborSampler, build_graph
 from repro.graph.cache import CachedSampler, LRUSubgraphCache
@@ -214,22 +215,20 @@ def run_suite(num_customers: int = 720) -> Dict:
     return report
 
 
+_GATES = [
+    _gate.MetricGate("seeds_per_sec", direction="min",
+                     tolerance=REGRESSION_TOLERANCE, unit="seeds/s"),
+]
+
+
 def check_against_baseline(report: Dict, baseline: Dict) -> List[str]:
     """Regression messages (empty when the run is clean)."""
     problems = []
     if not report["differential_ok"]:
         problems.append("differential check failed: serial and parallel paths diverge")
-    for mode, entry in baseline.get("modes", {}).items():
-        current = report["modes"].get(mode)
-        if current is None:
-            problems.append(f"mode {mode!r} missing from current run")
-            continue
-        floor = entry["seeds_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
-        if current["seeds_per_sec"] < floor:
-            problems.append(
-                f"{mode}: {current['seeds_per_sec']:.0f} seeds/s is more than "
-                f"{REGRESSION_TOLERANCE:.0%} below baseline {entry['seeds_per_sec']:.0f}"
-            )
+    problems.extend(
+        _gate.mode_regressions(report["modes"], baseline.get("modes", {}), _GATES)
+    )
     return problems
 
 

@@ -54,6 +54,7 @@ from typing import Dict, List
 
 import numpy as np
 
+import _gate
 from repro.datasets import get_dataset
 from repro.eval.splits import make_temporal_split
 from repro.obs import Histogram
@@ -485,29 +486,17 @@ def run_suite(num_requests: int = 192, scale: float = 0.3) -> Dict:
     return report
 
 
+_GATES = [
+    _gate.MetricGate("warm.rows_per_sec", direction="min",
+                     tolerance=REGRESSION_TOLERANCE, unit="rows/s"),
+    _gate.MetricGate("warm.latency_p99_ms", direction="max",
+                     tolerance=P99_TOLERANCE, slack=P99_SLACK_MS, unit="ms"),
+]
+
+
 def check_against_baseline(report: Dict, baseline: Dict) -> List[str]:
     """Regression messages (empty when the run is clean)."""
-    problems = []
-    for mode, entry in baseline.get("modes", {}).items():
-        current = report["modes"].get(mode)
-        if current is None:
-            problems.append(f"mode {mode!r} missing from current run")
-            continue
-        floor = entry["warm"]["rows_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
-        if current["warm"]["rows_per_sec"] < floor:
-            problems.append(
-                f"{mode}: {current['warm']['rows_per_sec']:.0f} rows/s warm is more "
-                f"than {REGRESSION_TOLERANCE:.0%} below baseline "
-                f"{entry['warm']['rows_per_sec']:.0f}"
-            )
-        ceiling = entry["warm"]["latency_p99_ms"] * (1.0 + P99_TOLERANCE) + P99_SLACK_MS
-        if current["warm"]["latency_p99_ms"] > ceiling:
-            problems.append(
-                f"{mode}: warm p99 {current['warm']['latency_p99_ms']:.2f}ms is more "
-                f"than {P99_TOLERANCE:.0%} (+{P99_SLACK_MS:.0f}ms slack) above "
-                f"baseline {entry['warm']['latency_p99_ms']:.2f}ms"
-            )
-    return problems
+    return _gate.mode_regressions(report["modes"], baseline.get("modes", {}), _GATES)
 
 
 def main(argv=None) -> int:

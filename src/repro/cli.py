@@ -51,6 +51,12 @@ Throughput flags (``fit`` / ``query``; see docs/performance.md):
 * ``--cache-size BATCHES`` memoizes sampled subgraphs in an LRU keyed
   on batch content, reused across epochs and at inference.
 * ``--prefetch-batches N`` bounds the in-flight sampling window.
+* ``--route {auto,green,yellow,red}`` fits a cost-routed model
+  (GREEN = calibrated activity baseline, YELLOW = GBDT on auto
+  features, RED = full GNN) and routes each prediction to the
+  cheapest tier whose validation quality clears ``--quality-floor``
+  (a fraction of the best tier's); ``serve`` accepts the same flags
+  as its default tier for routed saved models.
 
 Observability flags (``fit`` / ``query``):
 
@@ -143,6 +149,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "--infer-batch-size", type=int, default=None, metavar="N",
             help="micro-batch size for no-grad eval/predict; defaults to "
                  "the training batch size",
+        )
+        p.add_argument(
+            "--route", choices=["auto", "green", "yellow", "red"], default=None,
+            help="fit a cost-routed model and execute predictions on this "
+                 "tier (auto = cheapest tier clearing the quality floor); "
+                 "unset fits the plain GNN plan",
+        )
+        p.add_argument(
+            "--quality-floor", type=float, default=None, metavar="F",
+            help="routing quality floor as a fraction of the best tier's "
+                 "validation quality (default 0.98); implies --route auto",
         )
         p.add_argument(
             "--compute-dtype", choices=["float32", "float64"], default="float64",
@@ -244,6 +261,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--warmup", type=int, default=0, metavar="N",
         help="prime caches with N entities before accepting traffic",
+    )
+    serve.add_argument(
+        "--route", choices=["auto", "green", "yellow", "red"], default="auto",
+        help="default execution tier for routed saved models (requests "
+             "may override per line); ignored for plain models",
+    )
+    serve.add_argument(
+        "--quality-floor", type=float, default=None, metavar="F",
+        help="override a routed model's fit-time quality floor "
+             "(fraction of the best tier's validation quality)",
     )
     serve.add_argument(
         "--trace-sample-rate", type=float, default=0.0, metavar="RATE",
@@ -387,6 +414,18 @@ def _resilience_config(args: argparse.Namespace) -> Optional[ResilienceConfig]:
     )
 
 
+def _router_config(args: argparse.Namespace):
+    """A RouterConfig when --route/--quality-floor ask for one, else None."""
+    if args.route is None and args.quality_floor is None:
+        return None
+    from repro.pql.router import RouterConfig
+
+    kwargs = {"route": args.route or "auto"}
+    if args.quality_floor is not None:
+        kwargs["quality_floor"] = args.quality_floor
+    return RouterConfig(**kwargs)
+
+
 def _build_dataset(args: argparse.Namespace):
     spec = get_dataset(args.dataset)
     _log.info(
@@ -412,7 +451,19 @@ def _fit_and_report(db, query_text: str, num_train_cutoffs: int, args, save: Opt
     )
     planner = PredictiveQueryPlanner(db, _planner_config(args), resilience=_resilience_config(args))
     _log.info("fit started", extra={"epochs": args.epochs, "layers": args.layers})
-    model = planner.fit(query_text, split)
+    router = _router_config(args)
+    if router is not None:
+        model = planner.fit_routed(query_text, split, router=router)
+        print(f"routing: default route {router.route}, quality floor {router.quality_floor:.2f}")
+        per_row = model.cost.per_row_ms()
+        for tier in ("green", "yellow", "red"):
+            if tier in model.quality:
+                print(
+                    f"  {tier:<7} quality {model.quality[tier]:.4f}  "
+                    f"~{per_row.get(tier, float('nan')):.4f} ms/row"
+                )
+    else:
+        model = planner.fit(query_text, split)
     if model.degraded_from is not None:
         print(
             f"WARNING: degraded from {model.degraded_from} to "
@@ -557,6 +608,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         latency_budget_ms=args.latency_budget_ms,
         fallback=not args.no_fallback,
+        route=args.route,
+        quality_floor=args.quality_floor,
         telemetry_enabled=not args.no_telemetry,
         telemetry_window_s=args.telemetry_window_s,
         trace_sample_rate=args.trace_sample_rate,
@@ -571,7 +624,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             registry, args.model_name, db, version=args.model_version, config=config,
         )
     else:
-        model = TrainedPredictiveModel.load(args.model, db)
+        from repro.pql.router import RoutedPredictiveModel, is_routed_dir
+
+        if is_routed_dir(args.model):
+            model = RoutedPredictiveModel.load(args.model, db)
+        else:
+            model = TrainedPredictiveModel.load(args.model, db)
         service = PredictionService(model, config=config, name=args.model)
     if args.warmup:
         warmed = service.warmup(args.warmup)

@@ -572,6 +572,31 @@ class NodeTaskTrainer:
                     )
         return np.concatenate(outputs) if outputs else np.empty(0)
 
+    def export_scores(self, seed_type: str, ids: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Raw pre-activation model scores, shape (n,) — the hybrid export.
+
+        Binary → logits (no sigmoid); regression → standardized outputs
+        (no de-normalization).  Score stacking (the GBDT→GNN hybrid in
+        :mod:`repro.pql.router`) wants the model's unsquashed margin as
+        a feature column: a downstream stacker can re-calibrate it,
+        whereas a saturated probability throws resolution away.
+        Sampling follows the same deterministic-inference contract as
+        :meth:`predict`, so exported scores are reproducible.
+        """
+        if self.task_type == "multiclass":
+            raise ValueError("export_scores supports binary and regression tasks only")
+        self.model.eval()
+        self.sampler.rng = np.random.default_rng(self.config.seed + 9999)
+        outputs: List[np.ndarray] = []
+        batch_size = self.config.effective_infer_batch_size
+        with no_grad():
+            for start in range(0, len(ids), batch_size):
+                stop = start + batch_size
+                subgraph = self.sampler.sample(seed_type, ids[start:stop], times[start:stop])
+                raw = self.model(subgraph, self.graph)
+                outputs.append(raw.reshape(len(raw)).data.copy())
+        return np.concatenate(outputs) if outputs else np.empty(0)
+
 
 class LinkTaskTrainer:
     """Trains a :class:`~repro.gnn.models.TwoTowerModel` with BPR loss.

@@ -162,6 +162,13 @@ class LRUSubgraphCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # reset_stats() moves these baselines instead of zeroing the
+        # raw counters, so hits/misses/evictions stay monotonic for
+        # concurrent readers (snapshot()) while stats() reports
+        # per-owner traffic since the last reset.
+        self._hits_base = 0
+        self._misses_base = 0
+        self._evictions_base = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -203,20 +210,41 @@ class LRUSubgraphCache:
             self._entries.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/eviction counters, keeping cached entries.
+        """Rebase the hit/miss/eviction counters, keeping cached entries.
 
         A warm cache is an asset worth keeping across owners (e.g. a
         reloaded model or a fresh serving instance), but its traffic
         history is not — resetting stops a previous owner's counters
-        from leaking into a new owner's reports.
+        from leaking into a new owner's reports.  The raw counters are
+        never zeroed; the reset only moves the baseline that
+        :meth:`stats` subtracts, so :meth:`snapshot` readers (the query
+        router estimating hit likelihood mid-run) never observe
+        counters going backwards.
         """
         with self._lock:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self._hits_base = self.hits
+            self._misses_base = self.misses
+            self._evictions_base = self.evictions
 
     def stats(self) -> Dict[str, int]:
-        """``{hits, misses, evictions, entries, max_entries}`` snapshot."""
+        """``{hits, misses, evictions, entries, max_entries}`` since the
+        last :meth:`reset_stats` (the per-owner view)."""
+        with self._lock:
+            return {
+                "hits": self.hits - self._hits_base,
+                "misses": self.misses - self._misses_base,
+                "evictions": self.evictions - self._evictions_base,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }
+
+    def snapshot(self) -> Dict[str, int]:
+        """Monotonic lifetime counters, unaffected by :meth:`reset_stats`.
+
+        The non-destructive accessor for concurrent readers: routing
+        code can poll hit/miss likelihood at any time without racing an
+        owner that rebases its reporting window.
+        """
         with self._lock:
             return {
                 "hits": self.hits,

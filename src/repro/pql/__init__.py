@@ -44,6 +44,13 @@ from repro.pql.validate import PQLValidationError, validate
 from repro.pql.labeler import LabelTable, build_label_table
 from repro.pql.planner import PlannerConfig, PredictiveQueryPlanner, TrainedPredictiveModel
 from repro.pql.explain import explain_relations
+from repro.pql.router import (
+    RoutedPredictiveModel,
+    RouteDecision,
+    RouterConfig,
+    fit_routed,
+    is_routed_dir,
+)
 from repro.pql.tuning import TuneResult, tune
 
 __all__ = [
@@ -63,6 +70,11 @@ __all__ = [
     "PredictiveQueryPlanner",
     "TrainedPredictiveModel",
     "explain_relations",
+    "RouterConfig",
+    "RouteDecision",
+    "RoutedPredictiveModel",
+    "fit_routed",
+    "is_routed_dir",
     "tune",
     "TuneResult",
 ]

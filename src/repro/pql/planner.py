@@ -373,6 +373,24 @@ class PredictiveQueryPlanner:
             model.resilience = self.resilience
         return model
 
+    def fit_routed(
+        self,
+        query: Union[str, PredictiveQuery],
+        split: TemporalSplit,
+        router=None,
+    ):
+        """Compile, train, and wrap in the cost-based tier router.
+
+        Returns a :class:`~repro.pql.router.RoutedPredictiveModel`:
+        the full GNN (red) from :meth:`fit` plus the calibrated
+        green/yellow tiers and the cost model that routes between
+        them.  ``router`` is a :class:`~repro.pql.router.RouterConfig`
+        (default policy when omitted).
+        """
+        from repro.pql.router import fit_routed  # lazy: router imports this module
+
+        return fit_routed(self, query, split, router)
+
     def _degrade(self, binding, graph, train_labels, val_labels, err) -> "TrainedPredictiveModel":
         """Descend the fallback ladder after a failed GNN train stage."""
         from repro.resilience.fallback import fit_fallback
@@ -583,6 +601,20 @@ class TrainedPredictiveModel:
             return None
         cache = getattr(trainer.sampler, "cache", None)
         return cache.stats() if cache is not None else None
+
+    def sampler_cache_snapshot(self) -> Optional[Dict[str, int]]:
+        """Monotonic lifetime cache counters, or None.
+
+        Unlike :meth:`sampler_cache_stats` (whose window an owner may
+        rebase via ``reset_stats``), this is safe for concurrent
+        readers: the query router polls it to estimate subgraph-cache
+        hit likelihood without disturbing anyone's reporting window.
+        """
+        trainer = self.node_trainer or self.link_trainer
+        if trainer is None:
+            return None
+        cache = getattr(trainer.sampler, "cache", None)
+        return cache.snapshot() if cache is not None else None
 
     # ------------------------------------------------------------------
     # Prediction

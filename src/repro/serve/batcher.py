@@ -146,6 +146,7 @@ class _Request:
     sampled: bool = False        # head-sampled for full trace retention
     queue_wait_ms: float = 0.0   # stamped when the batch forms
     context: Any = None          # opaque; captured at admission
+    route: Optional[str] = None  # forced execution tier, or None
     future: ResponseFuture = field(default_factory=ResponseFuture)
 
     def expired(self, now: float) -> bool:
@@ -156,9 +157,15 @@ class _Request:
 
         Contexts are compared by identity: requests admitted under
         different model slots must never coalesce, or a hot swap would
-        answer an in-flight request with the wrong model.
+        answer an in-flight request with the wrong model.  Routes must
+        match too — a batch is one model call, executed on one tier.
         """
-        return self.op == other.op and self.k == other.k and self.context is other.context
+        return (
+            self.op == other.op
+            and self.k == other.k
+            and self.context is other.context
+            and self.route == other.route
+        )
 
 
 class MicroBatcher:
@@ -216,8 +223,14 @@ class MicroBatcher:
         k: int = 0,
         deadline_ms: Optional[float] = None,
         context: Any = None,
+        route: Optional[str] = None,
     ) -> ResponseFuture:
-        """Admit one request; returns its future or fast-rejects."""
+        """Admit one request; returns its future or fast-rejects.
+
+        ``route`` forces the execution tier for this request (routed
+        models only); requests with different routes never coalesce,
+        and the runner receives it as a ``route=`` keyword.
+        """
         if op not in ("predict", "rank"):
             raise ValueError(f"op must be 'predict' or 'rank', got {op!r}")
         entity_keys = np.asarray(entity_keys)
@@ -235,7 +248,8 @@ class MicroBatcher:
         request_id, sampled = self.telemetry.admit()
         request = _Request(op=op, entity_keys=entity_keys, cutoffs=cutoffs,
                            k=int(k), deadline=deadline,
-                           request_id=request_id, sampled=sampled, context=context)
+                           request_id=request_id, sampled=sampled, context=context,
+                           route=route)
         request.future.submitted_at = now
         request.future.request_id = request_id
         request.future.context = context
@@ -355,16 +369,20 @@ class MicroBatcher:
         self.telemetry.record_trace(trace)
 
     def _call_runner(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray,
-                     context: Any):
+                     context: Any, route: Optional[str] = None):
         """One runner invocation under a ``serve.batch`` span.
 
         Returns ``(results, error)`` so callers can unwind collection
-        windows before deciding how to resolve the batch.
+        windows before deciding how to resolve the batch.  A forced
+        route is forwarded as a keyword only when present, so runners
+        that predate routing keep their five-argument signature.
         """
         try:
             with obs_trace.span("serve.batch") as batch_span:
                 batch_span.add_counter("serve.batch_rows", len(keys))
-                return self._runner(op, k, keys, cutoffs, context), None
+                if route is None:
+                    return self._runner(op, k, keys, cutoffs, context), None
+                return self._runner(op, k, keys, cutoffs, context, route=route), None
         except Exception as err:
             return None, err
 
@@ -411,12 +429,14 @@ class MicroBatcher:
                 # request's retained trace carries the full stage tree.
                 with obs_trace.collect(scope="thread") as batch_trace:
                     results, error = self._call_runner(
-                        live[0].op, live[0].k, keys, cutoffs, live[0].context
+                        live[0].op, live[0].k, keys, cutoffs, live[0].context,
+                        route=live[0].route,
                     )
                 batch_spans = batch_trace.to_dict()["spans"]
             else:
                 results, error = self._call_runner(
-                    live[0].op, live[0].k, keys, cutoffs, live[0].context
+                    live[0].op, live[0].k, keys, cutoffs, live[0].context,
+                    route=live[0].route,
                 )
         finally:
             set_current_request_ids(())

@@ -19,7 +19,10 @@ by the echoed ``id``).  Requests:
     {"op": "lifecycle"}
 
 Optional fields: ``id`` (any JSON value, echoed back), ``deadline_ms``
-(per-request deadline), per-entity ``cutoff`` arrays.  Responses:
+(per-request deadline), per-entity ``cutoff`` arrays, and — against a
+routed model — ``route`` (``auto``/``green``/``yellow``/``red``) to
+force the execution tier; routed responses report the tier that
+answered as ``route`` plus its ``route_cost``.  Responses:
 
 ::
 
@@ -118,6 +121,11 @@ def parse_request(line: str) -> Dict[str, Any]:
             raise BadRequestError("entity_keys must be a non-empty list")
         if "cutoff" not in request:
             raise BadRequestError("cutoff is required")
+        route = request.get("route")
+        if route is not None and route not in ("auto", "green", "yellow", "red"):
+            raise BadRequestError(
+                f"route must be auto|green|yellow|red, got {route!r}"
+            )
     if op == "stats":
         fmt = request.get("format", "json")
         if fmt not in ("json", "prometheus"):
@@ -139,9 +147,11 @@ def _submit(service: PredictionService, request: Dict[str, Any]) -> ResponseFutu
     keys = np.asarray(request["entity_keys"])
     cutoff = request["cutoff"]
     deadline_ms = request.get("deadline_ms")
+    route = request.get("route")
     if request["op"] == "rank":
-        return service.rank_async(keys, cutoff, k=request.get("k"), deadline_ms=deadline_ms)
-    return service.predict_async(keys, cutoff, deadline_ms=deadline_ms)
+        return service.rank_async(keys, cutoff, k=request.get("k"),
+                                  deadline_ms=deadline_ms, route=route)
+    return service.predict_async(keys, cutoff, deadline_ms=deadline_ms, route=route)
 
 
 def _render(
@@ -159,6 +169,15 @@ def _render(
         # The slot this request was admitted under — not necessarily
         # the one live at write time (hot swaps happen mid-stream).
         response["model_version"] = future.context.label
+    decision = getattr(value, "route", None)
+    if decision is not None:
+        # The routed tier that answered this request's batch, plus the
+        # router's cost accounting for that batch.
+        response["route"] = decision["tier"]
+        response["route_cost"] = {
+            "est_cost_ms": decision["est_cost_ms"],
+            "realized_cost_ms": decision["realized_cost_ms"],
+        }
     if request["op"] == "rank":
         response["rankings"] = [
             {"items": np.asarray(items).tolist(), "scores": np.asarray(scores).tolist()}

@@ -48,7 +48,13 @@ Behind ``predict``/``rank`` sits the full serving contract:
   rolls back on regression (see :mod:`repro.serve.canary`);
 * **warm caches** — all requests share the live model's subgraph LRU
   and (for LIST queries) the memoized item-tower embeddings, and
-  :meth:`warmup` primes both before traffic arrives.
+  :meth:`warmup` primes both before traffic arrives;
+* **cost-based routing** — when the live model is a
+  :class:`~repro.pql.router.RoutedPredictiveModel`, every request is
+  executed on the GREEN/YELLOW/RED tier the router picks (or the tier
+  forced per request / by ``ServeConfig.route``); the decision rides
+  back on the result (``.route`` on the returned array/rankings) and
+  is counted per tier as ``serve.route.<tier>``.
 
 A fresh instance starts with clean telemetry: construction drops the
 ``serve.*`` instruments and the sampler-cache counters, so numbers
@@ -101,6 +107,13 @@ class ServeConfig:
     fallback: bool = True
     #: Default k for rank requests.
     default_k: int = 10
+    #: Default execution tier for routed models: ``auto`` lets the
+    #: cost model choose; ``green``/``yellow``/``red`` force a tier.
+    #: Requests may override per call.  Ignored for unrouted models.
+    route: str = "auto"
+    #: Override the routed model's quality floor (fraction of the best
+    #: tier's validation quality); None keeps the fit-time setting.
+    quality_floor: Optional[float] = None
     #: Live telemetry master switch: windowed ``serve.*`` histograms,
     #: request tracing, and SLO monitoring (request IDs are always on).
     telemetry_enabled: bool = True
@@ -144,6 +157,48 @@ class ServeConfig:
         )
 
 
+class RoutedPrediction(np.ndarray):
+    """A prediction vector carrying its batch's route decision.
+
+    Slicing preserves ``route`` (``__array_finalize__`` copies it), so
+    the per-request views the batcher hands back from one coalesced
+    model call still know which tier answered them.
+    """
+
+    route: Optional[Dict[str, Any]] = None
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self.route = getattr(obj, "route", None)
+
+
+class RoutedRankings(list):
+    """Per-entity rankings carrying their batch's route decision."""
+
+    def __init__(self, rankings, route: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(rankings)
+        self.route = route
+
+    def __getitem__(self, index):
+        value = super().__getitem__(index)
+        if isinstance(index, slice):
+            return RoutedRankings(value, self.route)
+        return value
+
+
+def _attach_route(result, route: Optional[Dict[str, Any]]):
+    """Tag a model result with its route decision (JSON-ready dict)."""
+    if route is None:
+        return result
+    if isinstance(result, np.ndarray):
+        tagged = result.view(RoutedPrediction)
+        tagged.route = route
+        return tagged
+    if isinstance(result, list):
+        return RoutedRankings(result, route)
+    return result
+
+
 class _ModelSlot:
     """One live (or once-live) model plus everything bound to it.
 
@@ -153,7 +208,7 @@ class _ModelSlot:
     already in flight.  Slots are compared by identity when coalescing.
     """
 
-    __slots__ = ("model", "label", "version", "heuristic", "task")
+    __slots__ = ("model", "label", "version", "heuristic", "task", "routed")
 
     def __init__(self, model, label: str, version: Optional[int]) -> None:
         self.model = model
@@ -165,6 +220,8 @@ class _ModelSlot:
         item_type = model.binding.item_table if model.task_type == TaskType.LINK else ""
         self.heuristic = ActivityHeuristic(model.graph, entity_type, item_type)
         self.task = "binary" if model.task_type == TaskType.BINARY else "regression"
+        #: Whether the model routes across GREEN/YELLOW/RED tiers.
+        self.routed = hasattr(model, "decide") and hasattr(model, "last_route")
 
 
 class PredictionService:
@@ -172,7 +229,13 @@ class PredictionService:
 
     def __init__(self, model, config: Optional[ServeConfig] = None, name: str = "model") -> None:
         self.config = config or ServeConfig()
+        if self.config.route not in ("auto", "green", "yellow", "red"):
+            raise ValueError(
+                f"route must be auto|green|yellow|red, got {self.config.route!r}"
+            )
         self._slot = _ModelSlot(model, label=name, version=None)
+        if self._slot.routed and self.config.quality_floor is not None:
+            model.router.quality_floor = float(self.config.quality_floor)
         self._degraded = False
         self._degraded_reason: Optional[str] = None
         self._breaches = 0
@@ -260,6 +323,7 @@ class PredictionService:
         registry = get_registry()
         registry.drop_prefix("serve.")
         registry.drop_prefix("sampler.cache.")
+        registry.drop_prefix("router.")
         trainer = self.model.node_trainer or self.model.link_trainer
         cache = getattr(trainer.sampler, "cache", None) if trainer is not None else None
         if cache is not None:
@@ -274,10 +338,26 @@ class PredictionService:
             return np.full(count, int(cutoffs), dtype=np.int64)
         return cutoffs
 
+    def _resolve_route(self, route: Optional[str]) -> Optional[str]:
+        """Per-request route, validated; None when the model is unrouted."""
+        if route is not None and route not in ("auto", "green", "yellow", "red"):
+            raise ValueError(f"route must be auto|green|yellow|red, got {route!r}")
+        if not self._slot.routed:
+            if route is not None:
+                raise ValueError("route is only supported for routed models")
+            return None
+        return route
+
     def predict_async(
-        self, entity_keys, cutoff, deadline_ms: Optional[float] = None
+        self, entity_keys, cutoff, deadline_ms: Optional[float] = None,
+        route: Optional[str] = None,
     ) -> ResponseFuture:
-        """Submit a predict request; returns its future immediately."""
+        """Submit a predict request; returns its future immediately.
+
+        ``route`` forces the execution tier for routed models (default:
+        ``ServeConfig.route``); requests forced to different tiers never
+        share a batch.
+        """
         slot = self._slot  # captured once: the model this request is admitted under
         if slot.model.task_type == TaskType.LINK:
             raise ValueError("predict() is for scalar queries; this model serves rank()")
@@ -287,15 +367,17 @@ class PredictionService:
             deadline_ms=deadline_ms if deadline_ms is not None
             else self.config.default_deadline_ms,
             context=slot,
+            route=self._resolve_route(route),
         )
 
-    def predict(self, entity_keys, cutoff, deadline_ms: Optional[float] = None) -> np.ndarray:
+    def predict(self, entity_keys, cutoff, deadline_ms: Optional[float] = None,
+                route: Optional[str] = None) -> np.ndarray:
         """Blocking predict: P(positive) (binary) or value (regression)."""
-        return self.predict_async(entity_keys, cutoff, deadline_ms).result()
+        return self.predict_async(entity_keys, cutoff, deadline_ms, route=route).result()
 
     def rank_async(
         self, entity_keys, cutoff, k: Optional[int] = None,
-        deadline_ms: Optional[float] = None,
+        deadline_ms: Optional[float] = None, route: Optional[str] = None,
     ) -> ResponseFuture:
         """Submit a rank request (LIST queries); returns its future."""
         slot = self._slot
@@ -308,14 +390,15 @@ class PredictionService:
             deadline_ms=deadline_ms if deadline_ms is not None
             else self.config.default_deadline_ms,
             context=slot,
+            route=self._resolve_route(route),
         )
 
     def rank(
         self, entity_keys, cutoff, k: Optional[int] = None,
-        deadline_ms: Optional[float] = None,
+        deadline_ms: Optional[float] = None, route: Optional[str] = None,
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Blocking rank: top-k ``(item_keys, scores)`` per entity."""
-        return self.rank_async(entity_keys, cutoff, k, deadline_ms).result()
+        return self.rank_async(entity_keys, cutoff, k, deadline_ms, route=route).result()
 
     def _warm_slot(self, slot: _ModelSlot, num_entities: int,
                    cutoff: Optional[int]) -> int:
@@ -347,7 +430,19 @@ class PredictionService:
     # Execution + degradation ladder
     # ------------------------------------------------------------------
     def _model_call(self, slot: _ModelSlot, op: str, k: int,
-                    keys: np.ndarray, cutoffs: np.ndarray):
+                    keys: np.ndarray, cutoffs: np.ndarray,
+                    route: Optional[str] = None):
+        if slot.routed:
+            # Per-request route wins; otherwise the service default.
+            resolved = route if route is not None else self.config.route
+            if op == "rank":
+                result = slot.model.rank_items(keys, cutoffs, k=k, route=resolved)
+            else:
+                result = slot.model.predict(keys, cutoffs, route=resolved)
+            decision = slot.model.last_route
+            return _attach_route(
+                result, decision.to_dict() if decision is not None else None
+            )
         if op == "rank":
             return slot.model.rank_items(keys, cutoffs, k=k)
         return slot.model.predict(keys, cutoffs)
@@ -375,13 +470,14 @@ class PredictionService:
         _log.warning("serving degraded to the heuristic rung", extra={"reason": reason})
 
     def _execute(self, op: str, k: int, keys: np.ndarray, cutoffs: np.ndarray,
-                 slot: Optional[_ModelSlot]):
+                 slot: Optional[_ModelSlot], route: Optional[str] = None):
         """The batcher's runner: model path with the ladder underneath.
 
         ``slot`` is the batch's shared admission context — the model
         these requests were promised.  A batch admitted before a swap
         still runs here against its original slot even though
-        ``self._slot`` has moved on.
+        ``self._slot`` has moved on.  ``route`` is the batch's forced
+        tier (routed models only; None = the service default).
         """
         if slot is None:
             slot = self._slot
@@ -390,13 +486,19 @@ class PredictionService:
         fault_point("service.execute")
         start = time.monotonic()
         try:
-            result = self._model_call(slot, op, k, keys, cutoffs)
+            result = self._model_call(slot, op, k, keys, cutoffs, route=route)
         except Exception as err:
             if not self.config.fallback:
                 raise
             self._degrade(f"model path failed: {type(err).__name__}: {err}")
             return self._fallback_call(slot, op, k, keys, cutoffs)
         elapsed_ms = (time.monotonic() - start) * 1000.0
+        decision = getattr(result, "route", None)
+        if decision is not None:
+            get_registry().counter(f"serve.route.{decision['tier']}").inc()
+            get_registry().counter(
+                f"serve.route_rows.{decision['tier']}"
+            ).inc(len(keys))
         budget = self.config.latency_budget_ms
         if budget is not None and self.config.fallback:
             if elapsed_ms > budget:
@@ -653,7 +755,7 @@ class PredictionService:
             name: record for name, record in exported.items()
             if name.startswith("serve.")
         }
-        return {
+        stats = {
             "name": self.name,
             "task_type": self.model.task_type.value,
             "degraded": self._degraded,
@@ -665,6 +767,17 @@ class PredictionService:
             "telemetry": self.telemetry.snapshot(),
             "lifecycle": self.lifecycle(),
         }
+        if self._slot.routed:
+            model = self._slot.model
+            last = model.last_route
+            stats["router"] = {
+                "route": self.config.route,
+                "quality_floor": model.router.quality_floor,
+                "quality": dict(model.quality),
+                "per_row_ms": model.cost.per_row_ms(),
+                "last_route": last.to_dict() if last is not None else None,
+            }
+        return stats
 
     def health(self) -> Dict[str, Any]:
         """Cheap liveness/degradation probe for load balancers and CLIs."""

@@ -14,7 +14,9 @@ Covered sources:
   shared namespace (quickstart, then the hot-swap + canary lifecycle
   walkthrough that continues it);
 * ``docs/observability.md``  — all blocks (spans, metrics, serving
-  telemetry, logging), run sequentially in one shared namespace.
+  telemetry, logging), run sequentially in one shared namespace;
+* ``docs/performance.md``    — the cost-routing EXPLAIN ANALYZE
+  walkthrough (fit the tier ladder, route a call, read the decision).
 
 Blocks that write files do so relative to the current directory, so
 every test runs chdir'd into a tmp dir.
@@ -86,6 +88,14 @@ def test_observability_snippets_run(tmp_path, monkeypatch):
     run_blocks("docs/observability.md", blocks)
 
 
+def test_performance_routing_snippet_runs(tmp_path, monkeypatch):
+    """The routing EXPLAIN ANALYZE example fits, routes, and explains."""
+    monkeypatch.chdir(tmp_path)
+    blocks = python_blocks("docs/performance.md")
+    assert len(blocks) >= 1, "performance guide lost its routing example"
+    run_blocks("docs/performance.md", blocks)
+
+
 def test_snippet_floor():
     """≥MIN_SNIPPETS snippets are exercised verbatim across the docs."""
     total = (
@@ -93,6 +103,7 @@ def test_snippet_floor():
         + len(python_blocks("README.md")[:1])
         + len(python_blocks("docs/serving.md"))
         + len(python_blocks("docs/observability.md"))
+        + len(python_blocks("docs/performance.md"))
     )
     assert total >= MIN_SNIPPETS, f"only {total} doc snippets are executed"
 

@@ -1,0 +1,317 @@
+"""Cost-based query routing: tier ladder, cache-key reuse, serving.
+
+Three layers of coverage:
+
+* **Decision logic** — :meth:`RoutedPredictiveModel.decide` unit-tested
+  on a hand-built model skeleton (no training), so quality-floor and
+  forced-route behavior are pinned down exactly.
+* **Cache keys** — the plan cache and :class:`LRUSubgraphCache` must
+  share what they can (identical query text, identical batches) and
+  distinguish what they must (different horizons, different cutoffs)
+  across all three dataset generators.
+* **Integration** — a tiny routed churn model: forced routes are
+  bit-identical to calling the tier directly, persistence round-trips,
+  the snapshot accessor never goes backwards, and routes propagate
+  through a coalesced serving micro-batch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clinical, make_ecommerce, make_forum
+from repro.obs import get_registry
+from repro.pql import PredictiveQueryPlanner, RouterConfig, is_routed_dir
+from repro.pql.router import CostModel, RoutedPredictiveModel
+from repro.serve import PredictionService, ServeConfig
+from tests.conftest import make_split, tiny_planner_config
+
+CHURN_QUERY = "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON 30 DAYS"
+
+GENERATORS = {
+    "ecommerce": (
+        lambda: make_ecommerce(num_customers=60, num_products=20, seed=0),
+        "PREDICT COUNT(orders) > 0 FOR EACH customers.id ASSUMING HORIZON {days} DAYS",
+        "customers",
+    ),
+    "forum": (
+        lambda: make_forum(num_users=40, seed=0),
+        "PREDICT COUNT(posts) > 0 FOR EACH users.id ASSUMING HORIZON {days} DAYS",
+        "users",
+    ),
+    "clinical": (
+        lambda: make_clinical(num_patients=50, seed=0),
+        "PREDICT COUNT(visits) > 0 FOR EACH patients.id ASSUMING HORIZON {days} DAYS",
+        "patients",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def routed_model(small_ecommerce_db, small_ecommerce_split):
+    planner = PredictiveQueryPlanner(
+        small_ecommerce_db, tiny_planner_config(cache_size=64)
+    )
+    return planner.fit_routed(CHURN_QUERY, small_ecommerce_split)
+
+
+def entity_keys(model, count):
+    return model.graph.node_keys[model.binding.query.entity_table][:count]
+
+
+# ----------------------------------------------------------------------
+# Decision logic on a hand-built skeleton (no training)
+# ----------------------------------------------------------------------
+def make_skeleton(quality, per_row_ms, quality_floor=0.98, route="auto"):
+    """A RoutedPredictiveModel with hand-set tiers/costs and no red model."""
+    model = RoutedPredictiveModel.__new__(RoutedPredictiveModel)
+    model.green = object()
+    model.yellow = object()
+    model.quality = dict(quality)
+    model.cost = CostModel(per_row_ms)
+    model.router = RouterConfig(route=route, quality_floor=quality_floor)
+    model.last_route = None
+    model._red_calls = 1  # warm: no cold surcharge in these unit tests
+    model._lock = threading.Lock()
+
+    class _Red:
+        @staticmethod
+        def sampler_cache_snapshot():
+            return None
+
+    model.red = _Red()
+    return model
+
+
+class TestDecide:
+    QUALITY = {"green": 0.70, "yellow": 0.95, "red": 0.96}
+    COSTS = {"green": 0.01, "yellow": 0.05, "red": 1.0}
+
+    def test_auto_picks_cheapest_above_floor(self):
+        model = make_skeleton(self.QUALITY, self.COSTS, quality_floor=0.98)
+        decision = model.decide(8)
+        # floor = 0.98 * 0.96 = 0.9408: green is out, yellow is the
+        # cheapest survivor.
+        assert decision.tier == "yellow"
+        assert not decision.forced
+        green = next(e for e in decision.estimates if e.tier == "green")
+        assert not green.eligible and green.reason == "below quality floor"
+
+    def test_zero_floor_admits_the_cheapest_tier(self):
+        model = make_skeleton(self.QUALITY, self.COSTS, quality_floor=0.0)
+        assert model.decide(8).tier == "green"
+
+    def test_floor_of_one_requires_the_best_tier(self):
+        model = make_skeleton(self.QUALITY, self.COSTS, quality_floor=1.0)
+        assert model.decide(8).tier == "red"
+
+    def test_forced_route_overrides_cost(self):
+        model = make_skeleton(self.QUALITY, self.COSTS, quality_floor=0.0)
+        decision = model.decide(8, route="red")
+        assert decision.tier == "red" and decision.forced
+        assert decision.reason == "forced"
+
+    def test_invalid_route_rejected(self):
+        model = make_skeleton(self.QUALITY, self.COSTS)
+        with pytest.raises(ValueError, match="auto|green|yellow|red"):
+            model.decide(8, route="purple")
+
+    def test_forced_unavailable_tier_rejected(self):
+        model = make_skeleton(self.QUALITY, self.COSTS)
+        model.yellow = None
+        with pytest.raises(ValueError, match="unavailable"):
+            model.decide(8, route="yellow")
+
+    def test_estimates_scale_with_rows(self):
+        model = make_skeleton(self.QUALITY, self.COSTS)
+        small = model.decide(1, route="yellow").est_cost_ms
+        large = model.decide(64, route="yellow").est_cost_ms
+        assert large > small
+
+    def test_cost_observe_is_overhead_aware_and_clamped(self):
+        cost = CostModel({"yellow": 1.0}, overhead_ms={"yellow": 5.0})
+        # A 16-row call at 21ms is 1.0 ms/row after the 5ms overhead:
+        # the estimate must not drift.
+        cost.observe("yellow", 16, 21.0)
+        assert cost.per_row_ms()["yellow"] == pytest.approx(1.0)
+        # A wild outlier moves the estimate but is clamped to 2x.
+        cost.observe("yellow", 16, 1000.0)
+        assert cost.per_row_ms()["yellow"] <= 2.0
+
+
+# ----------------------------------------------------------------------
+# Cache keys: share what they can, distinguish what they must
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCacheKeys:
+    def test_plan_cache_shares_identical_text_only(self, name):
+        build, template, _ = GENERATORS[name]
+        planner = PredictiveQueryPlanner(build(), tiny_planner_config())
+        hits = get_registry().counter("planner.plan_cache.hits")
+        before = hits.value
+        first = planner.plan(template.format(days=7))
+        again = planner.plan(template.format(days=7))
+        assert again is first  # same text -> the cached binding itself
+        assert hits.value == before + 1
+        other = planner.plan(template.format(days=14))
+        # Same entity/task but a different horizon is a different
+        # prediction problem: it must NOT reuse the binding.
+        assert other is not first
+        assert other.query.horizon_seconds != first.query.horizon_seconds
+
+    def test_subgraph_keys_distinguish_cutoffs_not_repeats(self, name):
+        build, _, entity = GENERATORS[name]
+        db = build()
+        from repro.graph import build_graph
+
+        config = tiny_planner_config(cache_size=32)
+        sampler = config.make_sampler(build_graph(db), np.random.default_rng(0))
+        seeds = np.arange(4, dtype=np.int64)
+        t0, t1 = db.time_span()
+        early = np.full(4, t0 + (t1 - t0) // 2, dtype=np.int64)
+        late = np.full(4, t1, dtype=np.int64)
+
+        repeat = sampler.batch_key(entity, seeds, early)
+        assert sampler.batch_key(entity, seeds, early) == repeat
+        assert sampler.batch_key(entity, seeds, late) != repeat
+        assert sampler.batch_key(entity, seeds[::-1].copy(), early) != repeat
+
+        # And the cache behaves accordingly: repeat hits, new cutoff misses.
+        sampler.sample(entity, seeds, early)
+        sampler.sample(entity, seeds, early)
+        sampler.sample(entity, seeds, late)
+        stats = sampler.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+
+
+# ----------------------------------------------------------------------
+# Integration on a fitted routed model
+# ----------------------------------------------------------------------
+class TestRoutedModel:
+    def test_fit_records_quality_and_costs_per_tier(self, routed_model):
+        for tier in ("green", "yellow", "red"):
+            assert 0.0 <= routed_model.quality[tier] <= 1.0
+            assert routed_model.cost.per_row_ms()[tier] > 0.0
+
+    def test_forced_routes_are_bit_identical_to_direct_tier_calls(self, routed_model):
+        keys = entity_keys(routed_model, 12)
+        cutoff = routed_model.db.time_span()[1]
+        cutoffs = np.full(len(keys), cutoff, dtype=np.int64)
+        direct = {
+            "green": routed_model.green.predict(keys, cutoffs),
+            "yellow": routed_model.yellow.predict(keys, cutoffs),
+            "red": routed_model._red_predict(keys, cutoffs),
+        }
+        for tier, expected in direct.items():
+            routed = routed_model.predict(keys, cutoff, route=tier)
+            np.testing.assert_array_equal(routed, expected)
+            assert routed_model.last_route.tier == tier
+            assert routed_model.last_route.forced
+
+    def test_auto_route_records_decision_and_realized_cost(self, routed_model):
+        keys = entity_keys(routed_model, 8)
+        cutoff = routed_model.db.time_span()[1]
+        routed_model.predict(keys, cutoff)
+        decision = routed_model.last_route
+        assert decision.tier in ("green", "yellow", "red")
+        assert decision.rows == 8 and not decision.forced
+        assert decision.est_cost_ms > 0.0
+        assert decision.realized_cost_ms > 0.0
+        assert len(decision.estimates) == 3
+
+    def test_quality_floor_zero_routes_to_green(self, routed_model):
+        keys = entity_keys(routed_model, 8)
+        cutoff = routed_model.db.time_span()[1]
+        saved = routed_model.router.quality_floor
+        try:
+            routed_model.router.quality_floor = 0.0
+            routed_model.predict(keys, cutoff)
+            assert routed_model.last_route.tier == "green"
+        finally:
+            routed_model.router.quality_floor = saved
+
+    def test_save_load_round_trip_preserves_routing(self, routed_model, tmp_path, small_ecommerce_db):
+        target = str(tmp_path / "routed")
+        routed_model.save(target)
+        assert is_routed_dir(target)
+        loaded = RoutedPredictiveModel.load(target, small_ecommerce_db)
+        assert loaded.quality == routed_model.quality
+        assert loaded.router.quality_floor == routed_model.router.quality_floor
+        keys = entity_keys(routed_model, 10)
+        cutoff = routed_model.db.time_span()[1]
+        for tier in ("green", "yellow", "red"):
+            np.testing.assert_allclose(
+                loaded.predict(keys, cutoff, route=tier),
+                routed_model.predict(keys, cutoff, route=tier),
+            )
+
+    def test_snapshot_is_monotonic_and_survives_reset(self, routed_model):
+        keys = entity_keys(routed_model, 8)
+        cutoff = routed_model.db.time_span()[1]
+        routed_model.predict(keys, cutoff, route="red")
+        first = routed_model.sampler_cache_snapshot()
+        assert first is not None
+        routed_model.predict(keys, cutoff, route="red")
+        second = routed_model.sampler_cache_snapshot()
+        for field in ("hits", "misses"):
+            assert second[field] >= first[field]
+        # Rebasing the per-owner stats window must not rewind snapshots.
+        cache = routed_model.red.node_trainer.sampler.cache
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+        third = routed_model.sampler_cache_snapshot()
+        for field in ("hits", "misses"):
+            assert third[field] >= second[field]
+
+
+# ----------------------------------------------------------------------
+# Serving: route propagation through a coalesced micro-batch
+# ----------------------------------------------------------------------
+class TestServeRoutePropagation:
+    def test_route_propagates_through_coalesced_batch(self, routed_model):
+        config = ServeConfig(max_batch_size=64, max_wait_ms=100.0, route="auto")
+        cutoff = routed_model.db.time_span()[1]
+        with PredictionService(routed_model, config) as service:
+            service.reset_metrics()
+            futures = [
+                service.predict_async(entity_keys(routed_model, 16)[i * 4:(i + 1) * 4], cutoff)
+                for i in range(4)
+            ]
+            results = [f.result(timeout=10.0) for f in futures]
+        decisions = [getattr(r, "route", None) for r in results]
+        assert all(d is not None for d in decisions)
+        # One model call served all four requests: every slice reports
+        # the full coalesced batch and the same tier.
+        assert {d["rows"] for d in decisions} == {16}
+        assert len({d["tier"] for d in decisions}) == 1
+        tier = decisions[0]["tier"]
+        assert decisions[0]["est_cost_ms"] > 0.0
+        assert decisions[0]["realized_cost_ms"] > 0.0
+        counters = get_registry().counter(f"serve.route.{tier}")
+        assert counters.value >= 1
+
+    def test_forced_route_requests_never_coalesce_across_tiers(self, routed_model):
+        config = ServeConfig(max_batch_size=64, max_wait_ms=60.0)
+        cutoff = routed_model.db.time_span()[1]
+        keys = entity_keys(routed_model, 4)
+        with PredictionService(routed_model, config) as service:
+            green = service.predict_async(keys, cutoff, route="green")
+            yellow = service.predict_async(keys, cutoff, route="yellow")
+            g, y = green.result(timeout=10.0), yellow.result(timeout=10.0)
+        assert g.route["tier"] == "green" and g.route["rows"] == 4
+        assert y.route["tier"] == "yellow" and y.route["rows"] == 4
+        np.testing.assert_array_equal(
+            g, routed_model.predict(keys, cutoff, route="green")
+        )
+
+    def test_per_request_route_matches_direct_model_call(self, routed_model):
+        cutoff = routed_model.db.time_span()[1]
+        keys = entity_keys(routed_model, 6)
+        with PredictionService(routed_model, ServeConfig(route="yellow")) as service:
+            served = service.predict(keys, cutoff)
+        np.testing.assert_array_equal(
+            served, routed_model.predict(keys, cutoff, route="yellow")
+        )
