@@ -58,3 +58,75 @@ def test_fig6_model_staleness(results, benchmark):
     db, task, split = dataset_and_split("ecommerce", "churn")
     model = fit_pql_gnn(db, task.query, split, epochs=1)
     benchmark(lambda: model.evaluate(split.test_cutoff))
+
+
+def test_fig6_streaming_staleness():
+    """Streaming arm: ingest keeps a deployed model current, selectively.
+
+    The walk-forward arm above quantifies decay when the graph is
+    frozen at fit time.  This arm closes the loop the ingest subsystem
+    enables: the tail of the dataset is carved into an event stream,
+    applied incrementally to the *live* model's graph, and the
+    staleness policy decides when to propagate — so the model answers
+    at cutoffs it could never have evaluated from its fit-time
+    snapshot.  Headline numbers (throughput, refresh selectivity,
+    bit-identity) are gated in ``BENCH_ingest.json``; this arm asserts
+    the quality-side claim: the incrementally maintained model stays
+    usable at the stream's frontier, and refreshes retain (rather than
+    flush) cache entries whose context times predate the new events.
+    """
+    from bench_ingest import carve_stream
+    from repro.ingest import DeltaGraphBuilder, RefreshPolicy, refresh_model
+
+    db, task, _ = dataset_and_split("ecommerce", "churn")
+    t_cut, base, events = carve_stream(db, 400)
+    horizon = 30 * DAY
+    val_cutoff = int(t_cut - horizon)  # training ends before the stream
+    split = TemporalSplit(
+        train_cutoffs=(val_cutoff - 2 * horizon, val_cutoff - horizon),
+        val_cutoff=val_cutoff,
+        test_cutoff=val_cutoff + 1,  # placeholder; the stream moves the frontier
+    )
+    model = fit_pql_gnn(base, task.query, split, epochs=2, cache_size=128)
+    stale_auroc = model.evaluate(val_cutoff)["auroc"]  # also primes the cache
+
+    builder = DeltaGraphBuilder(
+        model.db, graph=model.graph, stats_cutoff=model.stats_cutoff
+    )
+    policy = RefreshPolicy(max_staleness=7 * DAY, touched_threshold=0.05)
+    refreshes, retained, invalidated = 0, 0, 0
+    batches = 0
+    for offset in range(0, len(events), 100):
+        delta = builder.apply(events[offset : offset + 100])
+        policy.observe(delta)
+        batches += 1
+        if policy.due():
+            stats = refresh_model(model, policy.drain())
+            retained += stats["cache_retained"]
+            invalidated += stats["cache_invalidated"]
+            refreshes += 1
+    if policy.pending is not None:
+        stats = refresh_model(model, policy.drain())
+        retained += stats["cache_retained"]
+        invalidated += stats["cache_invalidated"]
+        refreshes += 1
+
+    live_cutoff = int(builder.watermark - horizon)
+    live_auroc = model.evaluate(live_cutoff)["auroc"]
+    print_table(
+        "Figure 6 (streaming): model quality at the stream frontier",
+        ["", "fit-time", "frontier"],
+        [["cutoff", str(val_cutoff), str(live_cutoff)],
+         ["auroc", fmt(stale_auroc), fmt(live_auroc)],
+         ["refreshes", "-", f"{refreshes}/{batches} batches"],
+         ["cache", "-", f"{retained} retained / {invalidated} dropped"]],
+    )
+    # The frontier cutoff lies beyond the fit-time snapshot entirely —
+    # answering there at all is the ingest path's doing, and quality
+    # holds up.
+    assert live_cutoff > t_cut - horizon
+    assert live_auroc > 0.7
+    # Refresh was selective: entries whose context times predate the
+    # stream survived every refresh.
+    assert refreshes >= 1
+    assert retained > 0

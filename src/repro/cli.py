@@ -34,6 +34,15 @@
         (``fsck`` exits 1 when it had to quarantine or repair), or
         publish a saved model directory as the next version.
 
+    python -m repro ingest --log-root LOG --drop-dir DROP [--follow]
+        Stream row events from a CSV drop directory into a crash-safe
+        segment log with incremental graph maintenance
+        (``--init-from SNAPSHOT`` creates the log from a database
+        snapshot directory; ``--compact`` merges segments back into a
+        new base; ``--out-of-order``, ``--stats-cutoff``,
+        ``--poll-interval``, ``--max-polls`` tune the stream); see
+        docs/ingest.md.
+
     python -m repro stats SNAPSHOT.json [--format text|json|prometheus]
         Render a serving telemetry snapshot (written by ``repro serve
         --stats-json``) as a human table, raw JSON, or Prometheus text
@@ -346,6 +355,55 @@ def _build_parser() -> argparse.ArgumentParser:
     reg_publish.add_argument("--model", required=True, metavar="DIR",
                              help="saved-model directory (`fit --save`)")
     add_verbosity(reg_publish)
+
+    ingest = sub.add_parser(
+        "ingest", help="stream row events from a CSV drop directory into a "
+                       "crash-safe segment log with incremental graph maintenance"
+    )
+    ingest.add_argument(
+        "--log-root", required=True, metavar="DIR",
+        help="segment-log directory (created with --init-from, reopened otherwise)",
+    )
+    ingest.add_argument(
+        "--init-from", metavar="SNAPSHOT", default=None,
+        help="initialize a new log from a database snapshot directory "
+             "(CSV + schema, as written by save_database); errors if the "
+             "log already exists",
+    )
+    ingest.add_argument(
+        "--drop-dir", metavar="DIR", default=None,
+        help="drop directory to poll for <table>*.csv event files "
+             "(processed files are renamed *.ingested)",
+    )
+    ingest.add_argument(
+        "--out-of-order", choices=["reject", "reorder"], default="reject",
+        help="policy for events older than the committed watermark: reject "
+             "them, or reorder within the batch first (default: reject)",
+    )
+    ingest.add_argument(
+        "--stats-cutoff", type=int, default=None, metavar="TS",
+        help="feature-statistics cutoff timestamp (freeze normalization "
+             "stats at this event time; required for bit-identical "
+             "incremental feature encoding)",
+    )
+    ingest.add_argument(
+        "--follow", action="store_true",
+        help="keep polling the drop directory instead of exiting after one pass",
+    )
+    ingest.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="SECONDS",
+        help="sleep between polls with --follow (default: 2.0)",
+    )
+    ingest.add_argument(
+        "--max-polls", type=int, default=0, metavar="N",
+        help="with --follow, stop after N polls (0 = until interrupted)",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="compact the log (merge segments into a new base snapshot) "
+             "after processing",
+    )
+    add_verbosity(ingest)
 
     stats = sub.add_parser(
         "stats", help="render a serving telemetry snapshot (from `repro "
@@ -722,6 +780,69 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from repro.graph.cache import graph_fingerprint
+    from repro.ingest import CSVDropSource, IngestPipeline, SegmentLog
+    from repro.relational.csvio import load_database
+
+    root = args.log_root
+    if args.init_from is not None:
+        if os.path.exists(os.path.join(root, "MANIFEST.json")):
+            print(f"ingest error: log already exists at {root!r}; "
+                  f"drop --init-from to reopen it", file=sys.stderr)
+            return 1
+        log = SegmentLog.create(root, load_database(args.init_from))
+        print(f"initialized segment log at {root} (base {log.base_name})")
+    else:
+        try:
+            log = SegmentLog.open(root)
+        except FileNotFoundError:
+            print(f"ingest error: no segment log at {root!r}; "
+                  f"use --init-from SNAPSHOT to create one", file=sys.stderr)
+            return 1
+
+    pipeline = IngestPipeline(
+        log, stats_cutoff=args.stats_cutoff, out_of_order=args.out_of_order
+    )
+    source = None
+    if args.drop_dir is not None:
+        schemas = {table.name: table.schema for table in pipeline.db}
+        source = CSVDropSource(args.drop_dir, schemas)
+
+    polls = 0
+    try:
+        while True:
+            events = source.poll() if source is not None else []
+            if events:
+                report = pipeline.process(events)
+                print(json.dumps(report.summary()))
+            polls += 1
+            if not args.follow:
+                break
+            if args.max_polls and polls >= args.max_polls:
+                break
+            time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        pass
+
+    if args.compact:
+        base = pipeline.compact()
+        print(f"compacted into {base}")
+    summary = {
+        "watermark": pipeline.watermark,
+        "segments": len(log.segments),
+        "base": log.base_name,
+        "graph_fingerprint": graph_fingerprint(pipeline.graph),
+        "quarantined_pending": len(pipeline.pending),
+    }
+    print(json.dumps(summary))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -760,6 +881,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "registry":
         return _cmd_registry(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "stats":
         return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")

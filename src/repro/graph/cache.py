@@ -4,10 +4,11 @@ The throughput layer (this module plus
 :mod:`repro.graph.parallel`) rests on one invariant:
 
     **Sampling is a pure function of the batch.**  The subgraph for a
-    batch depends only on (graph fingerprint, sampler implementation,
-    fanouts, time-respecting flag, base seed, seed type, seed ids,
-    seed times) — never on how many batches were sampled before it,
-    which worker sampled it, or whether a cache served it.
+    batch depends only on (sampler implementation, fanouts,
+    time-respecting flag, base seed, seed type, seed ids, seed times)
+    drawn against the current graph — never on how many batches were
+    sampled before it, which worker sampled it, or whether a cache
+    served it.
 
 :class:`CachedSampler` enforces the invariant by re-seeding the
 wrapped sampler's generator from a content digest before every draw
@@ -17,6 +18,19 @@ the parallel loader are semantically invisible: serial, cached, and
 multi-worker runs produce the same metrics for a fixed seed.  The
 differential test suite (``tests/test_differential_sampling.py``)
 locks this in.
+
+The cache key is a 32-byte composite: the 16-byte graph fingerprint
+followed by the 16-byte batch digest.  The RNG seed derives from the
+batch digest *only* (bytes 16:24 of the key) — deliberately excluding
+the fingerprint.  The split is what makes incremental ingest cheap:
+after a delta mutates the graph, a retained cache entry whose
+subgraph provably cannot see the new rows (no touched node at a
+context time that admits them) is *still* bit-identical to a fresh
+draw on the new graph, because the draw's RNG stream did not move
+with the fingerprint and every CSR prefix it read is unchanged.
+:meth:`LRUSubgraphCache.apply_delta` applies exactly that rule,
+re-keying survivors under the new fingerprint instead of flushing
+the cache wholesale.
 
 :class:`LRUSubgraphCache` memoizes :class:`~repro.graph.sampler.SampledSubgraph`
 values across epochs and across train/eval phases, keyed on the same
@@ -35,7 +49,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.graph.hetero import HeteroGraph
+from repro.graph.hetero import TIME_MIN, HeteroGraph
 from repro.graph.sampler import SampledSubgraph
 from repro.obs import get_registry
 from repro.obs import trace as obs_trace
@@ -44,6 +58,7 @@ __all__ = [
     "graph_fingerprint",
     "batch_rng_seed",
     "sampler_impl_name",
+    "KEY_PREFIX_LEN",
     "LRUSubgraphCache",
     "CachedSampler",
 ]
@@ -100,7 +115,6 @@ def sampler_impl_name(sampler) -> str:
 
 
 def _batch_digest(
-    fingerprint: str,
     impl: str,
     fanouts,
     time_respecting: bool,
@@ -110,7 +124,6 @@ def _batch_digest(
     seed_times: np.ndarray,
 ) -> bytes:
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(fingerprint.encode())
     digest.update(impl.encode())
     digest.update(np.asarray(list(fanouts), dtype=np.int64).tobytes())
     digest.update(b"T" if time_respecting else b"F")
@@ -123,7 +136,6 @@ def _batch_digest(
 
 
 def batch_rng_seed(
-    fingerprint: str,
     impl: str,
     fanouts,
     time_respecting: bool,
@@ -135,13 +147,21 @@ def batch_rng_seed(
     """The per-batch generator seed under the deterministic contract.
 
     Shared by :class:`CachedSampler` (serial path) and the parallel
-    workers, which is what makes their draws bit-identical.
+    workers, which is what makes their draws bit-identical.  The graph
+    fingerprint is deliberately *not* an input: the RNG stream for a
+    batch is stable across graph deltas, so subgraphs whose inputs a
+    delta provably did not touch stay valid (see the module
+    docstring).
     """
     digest = _batch_digest(
-        fingerprint, impl, fanouts, time_respecting, base_seed,
+        impl, fanouts, time_respecting, base_seed,
         seed_type, seed_ids, seed_times,
     )
     return int.from_bytes(digest[:8], "little")
+
+
+#: Byte length of the graph-fingerprint prefix in a composite cache key.
+KEY_PREFIX_LEN = 16
 
 
 class LRUSubgraphCache:
@@ -208,6 +228,70 @@ class LRUSubgraphCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def apply_delta(
+        self,
+        old_prefix: bytes,
+        new_prefix: bytes,
+        touched: Dict[str, np.ndarray],
+        min_time: int,
+    ) -> Dict[str, int]:
+        """Selectively retain entries after an incremental graph delta.
+
+        An entry keyed under ``old_prefix`` (the pre-delta fingerprint)
+        survives iff its subgraph contains no node of a touched type
+        whose original id is in ``touched[type]`` *and* whose context
+        time is ``>= min_time`` — the earliest timestamp the delta
+        introduced.  Such a subgraph read only CSR prefixes the delta
+        left byte-identical (appended edges land strictly after every
+        pre-existing ``(dst, time <= ctx)`` prefix), and since the RNG
+        seed excludes the fingerprint, a fresh draw on the new graph
+        reproduces it bit-for-bit.  Survivors are re-keyed under
+        ``new_prefix`` preserving LRU order; everything else (touched
+        entries and entries from other graph versions) is dropped.
+
+        Callers pass ``min_time = TIME_MIN`` when the delta includes
+        static rows (visible at every context time) or when the
+        sampler is not time-respecting — both make the context-time
+        guard vacuous, so only untouched-entity entries survive.
+
+        Returns ``{"retained": n, "invalidated": m}``; the same counts
+        land on the ``sampler.cache.{retained,invalidated}`` counters.
+        """
+        touched = {
+            t: np.asarray(ids, dtype=np.int64)
+            for t, ids in touched.items()
+            if len(ids) > 0
+        }
+        retained = 0
+        invalidated = 0
+        with self._lock:
+            survivors: "OrderedDict[bytes, SampledSubgraph]" = OrderedDict()
+            for key, subgraph in self._entries.items():
+                if not key.startswith(old_prefix):
+                    invalidated += 1
+                    continue
+                stale = False
+                for node_type, ids in touched.items():
+                    orig = subgraph.node_orig(node_type)
+                    if len(orig) == 0:
+                        continue
+                    hit = np.isin(orig, ids)
+                    if min_time != TIME_MIN:
+                        hit &= subgraph.node_ctx_time(node_type) >= min_time
+                    if hit.any():
+                        stale = True
+                        break
+                if stale:
+                    invalidated += 1
+                else:
+                    survivors[new_prefix + key[len(old_prefix):]] = subgraph
+                    retained += 1
+            self._entries = survivors
+        registry = get_registry()
+        registry.counter("sampler.cache.retained").inc(retained)
+        registry.counter("sampler.cache.invalidated").inc(invalidated)
+        return {"retained": retained, "invalidated": invalidated}
 
     def reset_stats(self) -> None:
         """Rebase the hit/miss/eviction counters, keeping cached entries.
@@ -312,9 +396,14 @@ class CachedSampler:
 
     # -- keys -----------------------------------------------------------
     def batch_key(self, seed_type: str, seed_ids: np.ndarray, seed_times: np.ndarray) -> bytes:
-        """The cache key / RNG-derivation digest for one batch."""
-        return _batch_digest(
-            self._fingerprint, self._impl, self.base.fanouts,
+        """The composite cache key for one batch.
+
+        32 bytes: the 16-byte graph fingerprint (content versioning)
+        followed by the 16-byte batch digest (RNG derivation).  See the
+        module docstring for why the two halves are kept separate.
+        """
+        return bytes.fromhex(self._fingerprint) + _batch_digest(
+            self._impl, self.base.fanouts,
             self.base.time_respecting, self.base_seed,
             seed_type, seed_ids, seed_times,
         )
@@ -331,8 +420,36 @@ class CachedSampler:
             hit = self.cache.get(key)
             if hit is not None:
                 return hit
-        self.base.rng = np.random.default_rng(int.from_bytes(key[:8], "little"))
+        seed_slice = key[KEY_PREFIX_LEN : KEY_PREFIX_LEN + 8]
+        self.base.rng = np.random.default_rng(int.from_bytes(seed_slice, "little"))
         subgraph = self.base.sample(seed_type, seed_ids, seed_times)
         if self.cache is not None:
             self.cache.put(key, subgraph)
         return subgraph
+
+    # -- incremental maintenance ---------------------------------------
+    def apply_delta(
+        self, touched: Dict[str, np.ndarray], min_event_time: int
+    ) -> Dict[str, int]:
+        """Refresh the wrapper after an in-place graph delta.
+
+        Recomputes the captured fingerprint from the (mutated) graph
+        and selectively retains cache entries via
+        :meth:`LRUSubgraphCache.apply_delta`.  ``touched`` maps node
+        type → original ids whose rows or incident edges the delta
+        changed; ``min_event_time`` is the earliest event timestamp it
+        introduced.  A non-time-respecting base sampler reads full
+        neighbor lists, so any touched entity invalidates regardless
+        of context time (``min_time`` collapses to ``TIME_MIN``).
+        """
+        old_fingerprint = self._fingerprint
+        self._fingerprint = graph_fingerprint(self.base.graph)
+        if self.cache is None:
+            return {"retained": 0, "invalidated": 0}
+        min_time = min_event_time if self.base.time_respecting else TIME_MIN
+        return self.cache.apply_delta(
+            bytes.fromhex(old_fingerprint),
+            bytes.fromhex(self._fingerprint),
+            touched,
+            min_time,
+        )

@@ -25,7 +25,12 @@ import numpy as np
 from repro.relational.table import Table
 from repro.relational.types import DType
 
-__all__ = ["NodeFeatures", "CategoricalEncoding", "encode_table_features"]
+__all__ = [
+    "NodeFeatures",
+    "CategoricalEncoding",
+    "encode_table_features",
+    "FeatureGrower",
+]
 
 #: Hash buckets reserved for unseen / overflow categorical values.
 _OVERFLOW_BUCKETS = 8
@@ -175,6 +180,183 @@ def _encode_numeric(
     # Clip so outliers beyond the fit window cannot blow up activations.
     standardized = np.clip(standardized, -10.0, 10.0)
     return standardized, null_mask.astype(np.float64)
+
+
+class FeatureGrower:
+    """Incrementally extend :class:`NodeFeatures` as table rows append.
+
+    The ingest delta path needs feature blocks that stay bit-identical
+    to a cold ``encode_table_features`` over the grown table.  That is
+    provable when every appended row's timestamp lies strictly after
+    ``stats_cutoff``: the fit window (rows ``<= cutoff``) — and with it
+    every mean, std, and vocabulary — is frozen, and the per-row
+    transforms are elementwise, so encoding just the new slice with the
+    frozen statistics reproduces the cold bytes.  Fit-window statistics
+    are memoized per (table, channel) so repeated deltas skip the
+    full-column scans.
+
+    Whenever the fast path cannot be proven (no cutoff, a static
+    table, or an appended row at/before the cutoff), :meth:`grow`
+    falls back to a full re-encode — still cold-identical, just not
+    incremental — and drops the table's memoized statistics, since the
+    fit window may have changed.
+    """
+
+    def __init__(self, stats_cutoff: Optional[int]) -> None:
+        self.stats_cutoff = stats_cutoff
+        self._stats: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+    def _numeric_stats(
+        self, table_name: str, channel: str, values: np.ndarray, usable: np.ndarray
+    ) -> Tuple[float, float]:
+        key = (table_name, channel)
+        cached = self._stats.get(key)
+        if cached is not None:
+            return cached
+        if usable.any():
+            mean = float(values[usable].mean())
+            std = float(values[usable].std())
+        else:
+            mean, std = 0.0, 1.0
+        if std < 1e-12:
+            std = 1.0
+        self._stats[key] = (mean, std)
+        return mean, std
+
+    def _grow_numeric(
+        self,
+        table_name: str,
+        channel: str,
+        values: np.ndarray,
+        null_mask: np.ndarray,
+        fit_mask: np.ndarray,
+        rows: slice,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``_encode_numeric`` restricted to ``rows``, stats frozen."""
+        mean, std = self._numeric_stats(
+            table_name, channel, values, fit_mask & ~null_mask
+        )
+        new_null = null_mask[rows]
+        standardized = (values[rows] - mean) / std
+        standardized = np.where(new_null, 0.0, standardized)
+        standardized = np.clip(standardized, -10.0, 10.0)
+        return standardized, new_null.astype(np.float64)
+
+    @staticmethod
+    def _grow_categorical(
+        base: CategoricalEncoding, values: np.ndarray, null_mask: np.ndarray, rows: slice
+    ) -> np.ndarray:
+        """Codes for the new rows under the frozen vocabulary.
+
+        Mirrors both cold branches of ``_encode_categorical``: a stored
+        vocabulary maps hits directly and hashes misses into the
+        overflow buckets; an empty vocabulary (the hashed-all branch —
+        which cold also takes for a column with *zero* fit-window
+        values) hashes into ``_MAX_VOCAB`` buckets.
+        """
+        null_code = base.cardinality - 1 - _OVERFLOW_BUCKETS
+        overflow_start = null_code + 1
+        as_text = values[rows].astype(str)
+        new_null = null_mask[rows]
+        uniq, inverse = np.unique(as_text, return_inverse=True)
+        if base.vocabulary:
+            unique_codes = np.array(
+                [
+                    base.vocabulary[text]
+                    if text in base.vocabulary
+                    else overflow_start + _stable_hash(text) % _OVERFLOW_BUCKETS
+                    for text in map(str, uniq)
+                ],
+                dtype=np.int64,
+            )
+        else:
+            unique_codes = np.array(
+                [_stable_hash(str(text)) % _MAX_VOCAB for text in uniq], dtype=np.int64
+            )
+        codes = unique_codes[inverse] if len(as_text) else np.zeros(0, dtype=np.int64)
+        codes[new_null] = null_code
+        return codes
+
+    def grow(self, table: Table, base: NodeFeatures) -> NodeFeatures:
+        """Features for the grown ``table``, extending ``base``.
+
+        ``base`` must be the encoding of the table's first
+        ``base.num_nodes`` rows at the same ``stats_cutoff``.
+        """
+        old = base.num_nodes
+        if table.num_rows < old:
+            raise ValueError(
+                f"table {table.name!r} shrank: {table.num_rows} < {old} encoded rows"
+            )
+        if table.num_rows == old:
+            return base
+        time_col = table.schema.time_column
+        fast = self.stats_cutoff is not None and time_col is not None
+        if fast:
+            col = table[time_col]
+            new_null = col.null_mask()[old:]
+            new_times = col.values[old:]
+            if new_null.any() or bool((new_times <= self.stats_cutoff).any()):
+                fast = False
+        if not fast:
+            self._stats = {
+                k: v for k, v in self._stats.items() if k[0] != table.name
+            }
+            return encode_table_features(table, self.stats_cutoff)
+
+        rows = slice(old, table.num_rows)
+        fit_mask = _fit_rows(table, self.stats_cutoff)
+        numeric_channels: List[np.ndarray] = []
+        categorical: List[CategoricalEncoding] = []
+        cat_index = 0
+        for name in table.schema.feature_columns:
+            column = table[name]
+            if column.dtype in (DType.INT64, DType.FLOAT64):
+                values, indicator = self._grow_numeric(
+                    table.name, name, column.values.astype(np.float64),
+                    column.null_mask(), fit_mask, rows,
+                )
+                numeric_channels.extend([values, indicator])
+            elif column.dtype == DType.BOOL:
+                null = column.null_mask()[rows]
+                numeric_channels.append(
+                    np.where(null, 0.0, column.values[rows].astype(np.float64))
+                )
+            elif column.dtype == DType.TIMESTAMP:
+                reference = float(self.stats_cutoff)
+                age_days = (
+                    reference - column.values.astype(np.float64)
+                ) / _SECONDS_PER_DAY
+                values, indicator = self._grow_numeric(
+                    table.name, f"{name}__age_days", age_days,
+                    column.null_mask(), fit_mask, rows,
+                )
+                numeric_channels.extend([values, indicator])
+            elif column.dtype == DType.STRING:
+                old_cat = base.categorical[cat_index]
+                cat_index += 1
+                new_codes = self._grow_categorical(
+                    old_cat, column.values, column.null_mask(), rows
+                )
+                categorical.append(
+                    CategoricalEncoding(
+                        name=name,
+                        codes=np.concatenate([old_cat.codes, new_codes]),
+                        cardinality=old_cat.cardinality,
+                        vocabulary=old_cat.vocabulary,
+                    )
+                )
+            else:  # pragma: no cover - exhaustive over DType
+                raise TypeError(f"unsupported feature dtype {column.dtype}")
+
+        if numeric_channels:
+            new_block = np.column_stack(numeric_channels)
+            numeric = np.concatenate([base.numeric, new_block], axis=0)
+        else:
+            numeric = np.zeros((table.num_rows, 0))
+        return NodeFeatures(
+            numeric=numeric, numeric_names=base.numeric_names, categorical=categorical
+        )
 
 
 def _encode_categorical(

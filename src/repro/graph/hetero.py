@@ -141,6 +141,59 @@ class _EdgeStore:
         """In-degree per destination node."""
         return np.diff(self.indptr)
 
+    def merged(
+        self,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        times: np.ndarray,
+        num_dst: int,
+    ) -> "_EdgeStore":
+        """A new store holding this store's edges plus a delta batch.
+
+        Bit-identical to rebuilding from scratch over the concatenated
+        raw edge list: the primary constructor's ``lexsort`` is stable,
+        so base rows precede delta rows within any equal ``(dst, time)``
+        group — which is exactly what inserting each delta edge *after*
+        the base edges with time ``<= t`` (``searchsorted`` side
+        ``"right"``) reproduces, at the cost of the delta instead of
+        the whole edge list.  ``num_dst`` is the (possibly grown)
+        destination node count.
+        """
+        d_src = np.asarray(src_ids, dtype=np.int64)
+        d_dst = np.asarray(dst_ids, dtype=np.int64)
+        d_times = np.asarray(times, dtype=np.int64)
+        order = np.lexsort((d_times, d_dst))
+        s_src, s_dst, s_times = d_src[order], d_dst[order], d_times[order]
+        old_num_dst = len(self.indptr) - 1
+        positions = np.full(len(s_dst), self.indptr[-1], dtype=np.int64)
+        in_range = s_dst < old_num_dst
+        for d in np.unique(s_dst[in_range]):
+            rows = np.flatnonzero(s_dst == d)
+            start, stop = self.indptr[d], self.indptr[d + 1]
+            segment = self.nbr_time[start:stop]
+            positions[rows] = start + np.searchsorted(segment, s_times[rows], side="right")
+        old_counts = np.diff(self.indptr)
+        if num_dst > old_num_dst:
+            old_counts = np.concatenate(
+                [old_counts, np.zeros(num_dst - old_num_dst, dtype=np.int64)]
+            )
+        counts = old_counts + np.bincount(d_dst, minlength=num_dst)
+        store = _EdgeStore.__new__(_EdgeStore)
+        store.nbr_src = np.insert(self.nbr_src, positions, s_src)
+        store.nbr_time = np.insert(self.nbr_time, positions, s_times)
+        store.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        if self.src_ids is not None:
+            # Raw arrays keep event order (base rows then delta rows),
+            # mirroring how a cold build consumes appended table rows.
+            store.src_ids = np.concatenate([self.src_ids, d_src])
+            store.dst_ids = np.concatenate([self.dst_ids, d_dst])
+            store.times = np.concatenate([self.times, d_times])
+        else:
+            store.src_ids = None
+            store.dst_ids = None
+            store.times = None
+        return store
+
 
 class HeteroGraph:
     """A heterogeneous graph with per-node and per-edge timestamps."""
@@ -208,6 +261,69 @@ class HeteroGraph:
         self._edges[edge_type] = _EdgeStore(
             src_ids, dst_ids, times, self._num_nodes[edge_type.dst]
         )
+
+    # ------------------------------------------------------------------
+    # Incremental growth (the ingest delta path)
+    # ------------------------------------------------------------------
+    def grow_node_type(self, name: str, times: np.ndarray) -> int:
+        """Append nodes to an existing type; returns the first new index.
+
+        ``times`` holds one creation timestamp per new node
+        (``TIME_MIN`` entries for static rows).  CSR indices of edge
+        types *into* the grown type are padded with empty neighbor
+        lists — byte-identical to what a cold rebuild at the same
+        contents produces, since trailing zero counts cumsum to
+        repeated ``indptr`` tails.  Features and ``node_keys`` are the
+        caller's to extend (see ``repro.ingest.delta``); the memoized
+        fingerprint is cleared.
+        """
+        if name not in self._num_nodes:
+            raise KeyError(f"unknown node type {name!r}")
+        times = np.asarray(times, dtype=np.int64)
+        start = self._num_nodes[name]
+        self._node_times[name] = np.concatenate([self._node_times[name], times])
+        self._num_nodes[name] = start + len(times)
+        for edge_type, store in self._edges.items():
+            if edge_type.dst == name:
+                pad = np.full(len(times), store.indptr[-1], dtype=np.int64)
+                store.indptr = np.concatenate([store.indptr, pad])
+        self._fingerprint = None
+        return start
+
+    def append_edges(
+        self,
+        edge_type: EdgeType,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        times: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append a batch of edges to an existing edge type.
+
+        The store is replaced with a stably merged one
+        (:meth:`_EdgeStore.merged`) that is bit-identical to a cold
+        rebuild over the combined edge list; the memoized fingerprint
+        is cleared.
+        """
+        if edge_type not in self._edges:
+            raise KeyError(f"unknown edge type {edge_type}")
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        dst_ids = np.asarray(dst_ids, dtype=np.int64)
+        if times is None:
+            times = np.full(len(src_ids), TIME_MIN, dtype=np.int64)
+        times = np.asarray(times, dtype=np.int64)
+        if len(src_ids) == 0:
+            return
+        if (
+            src_ids.min() < 0
+            or src_ids.max() >= self._num_nodes[edge_type.src]
+            or dst_ids.min() < 0
+            or dst_ids.max() >= self._num_nodes[edge_type.dst]
+        ):
+            raise IndexError(f"edge type {edge_type}: node ids out of range")
+        self._edges[edge_type] = self._edges[edge_type].merged(
+            src_ids, dst_ids, times, self._num_nodes[edge_type.dst]
+        )
+        self._fingerprint = None
 
     @classmethod
     def from_parts(

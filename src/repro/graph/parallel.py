@@ -53,7 +53,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.cache import CachedSampler
+from repro.graph.cache import KEY_PREFIX_LEN, CachedSampler
 from repro.graph.hetero import HeteroGraph
 from repro.graph.sampler import NeighborSampler, SampledSubgraph
 from repro.graph.shared import SharedGraphStore
@@ -305,7 +305,7 @@ class ParallelSampleLoader:
                     state[position] = ("hit", self.sampler.sample(seed_type, ids, times))
                 return
             payload = [
-                (ids, times, int.from_bytes(key[:8], "little"))
+                (ids, times, int.from_bytes(key[KEY_PREFIX_LEN : KEY_PREFIX_LEN + 8], "little"))
                 for _, key, ids, times in items
             ]
             try:

@@ -1,0 +1,42 @@
+"""Streaming ingest: append-only events → incremental graph deltas.
+
+The paper's premise is that the database *is* the graph; this package
+keeps that true while rows keep arriving.  Events flow through a
+pluggable source layer (:mod:`repro.ingest.sources`), are validated
+and time-ordered into crash-safe, time-partitioned segments
+(:mod:`repro.ingest.segments`), and are applied as incremental CSR
+deltas to the live :class:`~repro.graph.hetero.HeteroGraph`
+(:mod:`repro.ingest.delta`) — bit-identical to a cold rebuild at the
+same watermark.  Staleness-aware refresh hooks
+(:mod:`repro.ingest.refresh`) invalidate only what a delta actually
+touched: subgraph-cache entries, item-embedding memos, and router
+cost snapshots survive unless their inputs changed.
+"""
+
+from repro.ingest.delta import DeltaGraphBuilder, DeltaReport
+from repro.ingest.events import (
+    EventValidationError,
+    IngestError,
+    RowEvent,
+    UnresolvedReferenceError,
+)
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.refresh import RefreshPolicy, refresh_model
+from repro.ingest.segments import SegmentLog
+from repro.ingest.sources import CSVDropSource, InProcessSource
+
+__all__ = [
+    "RowEvent",
+    "IngestError",
+    "EventValidationError",
+    "UnresolvedReferenceError",
+    "SegmentLog",
+    "InProcessSource",
+    "CSVDropSource",
+    "DeltaGraphBuilder",
+    "DeltaReport",
+    "IngestPipeline",
+    "IngestReport",
+    "RefreshPolicy",
+    "refresh_model",
+]

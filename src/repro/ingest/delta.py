@@ -1,0 +1,301 @@
+"""Incremental graph maintenance: validated events → CSR deltas.
+
+:class:`DeltaGraphBuilder` keeps a live
+:class:`~repro.graph.hetero.HeteroGraph` equal — bit-for-bit — to
+what :func:`~repro.graph.builder.build_graph` would produce from the
+grown database.  The identity rests on three append-only facts:
+
+* node indices are row positions, and rows only append;
+* the cold CSR sort (stable lexsort by ``(dst, time)``) is reproduced
+  by the stable merge in ``_EdgeStore.merged``;
+* feature statistics are fitted at ``stats_cutoff``, and the fast
+  path only accepts rows strictly after it, so frozen statistics
+  encode new rows to the same bytes a full re-encode would.
+
+``apply`` mutates the database *in place* (tables are replaced inside
+the same :class:`~repro.relational.database.Database` object) so
+models, planners, and tiers holding a reference observe the growth
+without re-plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.builder import build_graph
+from repro.graph.encoders import FeatureGrower
+from repro.graph.hetero import TIME_MIN, EdgeType, HeteroGraph
+from repro.ingest.events import (
+    EventValidationError,
+    RowEvent,
+    UnresolvedReferenceError,
+)
+from repro.obs import get_registry
+from repro.relational.column import Column
+from repro.relational.database import Database
+from repro.relational.table import Table
+
+__all__ = ["DeltaGraphBuilder", "DeltaReport"]
+
+
+@dataclass
+class DeltaReport:
+    """What one applied delta changed — the refresh layer's contract.
+
+    ``touched`` maps node type → node indices whose rows or incident
+    edges changed (new nodes and the existing foreign-key parents they
+    attached to).  ``touched_fraction`` is the worst-case fraction of
+    *pre-delta* nodes touched in any one type — the selectivity signal
+    the refresh policy thresholds on.  ``min_event_time`` is the
+    earliest timestamp the delta introduced (``TIME_MIN`` when it
+    contained static rows, which are visible at every context time).
+    """
+
+    touched: Dict[str, np.ndarray] = field(default_factory=dict)
+    min_event_time: int = TIME_MIN
+    watermark: Optional[int] = None
+    num_events: int = 0
+    new_nodes: Dict[str, int] = field(default_factory=dict)
+    new_edges: int = 0
+    touched_fraction: float = 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest for logs and the CLI."""
+        return {
+            "events": self.num_events,
+            "new_nodes": dict(self.new_nodes),
+            "new_edges": self.new_edges,
+            "touched": {t: int(len(ids)) for t, ids in self.touched.items()},
+            "touched_fraction": round(self.touched_fraction, 6),
+            "watermark": self.watermark,
+        }
+
+
+class DeltaGraphBuilder:
+    """Applies validated event batches to a live database + graph pair."""
+
+    def __init__(
+        self,
+        db: Database,
+        graph: Optional[HeteroGraph] = None,
+        stats_cutoff: Optional[int] = None,
+    ) -> None:
+        self.db = db
+        self.stats_cutoff = stats_cutoff
+        self.graph = graph if graph is not None else build_graph(db, stats_cutoff=stats_cutoff)
+        self._grower = FeatureGrower(stats_cutoff)
+        self._key_to_index: Dict[str, Dict[object, int]] = {}
+        for table in db:
+            pk = table.schema.primary_key
+            if pk is not None:
+                keys = table[pk].values
+                self._key_to_index[table.name] = {
+                    key: i for i, key in enumerate(keys.tolist())
+                }
+        span = db.time_span()
+        self.watermark: Optional[int] = int(span[1]) if span is not None else None
+
+    # -- screening ------------------------------------------------------
+    def screen(
+        self, events: List[RowEvent]
+    ) -> Tuple[List[RowEvent], List[Tuple[RowEvent, str]], List[RowEvent]]:
+        """Partition a batch into (appliable, duplicates, unresolved).
+
+        Duplicate primary keys (against the live database or earlier
+        events in the batch) are permanent rejects.  Events whose
+        foreign keys reference a row that neither exists nor arrives
+        in this batch are *unresolved* — quarantine candidates the
+        pipeline retries once their parents land.  Resolution iterates
+        to a fixed point so a child is not admitted on the strength of
+        a parent that was itself quarantined.
+        """
+        appliable: List[RowEvent] = []
+        duplicates: List[Tuple[RowEvent, str]] = []
+        batch_keys: Dict[str, set] = {name: set() for name in self._key_to_index}
+        for event in events:
+            schema = self.db[event.table].schema
+            pk = schema.primary_key
+            if pk is not None:
+                key = event.values[pk]
+                if key in self._key_to_index[event.table] or key in batch_keys[event.table]:
+                    duplicates.append((event, f"duplicate primary key {key!r}"))
+                    continue
+                batch_keys[event.table].add(key)
+            appliable.append(event)
+
+        unresolved: List[RowEvent] = []
+        while True:
+            available = {
+                name: set(self._key_to_index.get(name, {}))
+                for name in self.db.table_names
+            }
+            for event in appliable:
+                pk = self.db[event.table].schema.primary_key
+                if pk is not None:
+                    available[event.table].add(event.values[pk])
+            still: List[RowEvent] = []
+            moved = False
+            for event in appliable:
+                schema = self.db[event.table].schema
+                missing = None
+                for fk in schema.foreign_keys:
+                    key = event.values[fk.column]
+                    if key is not None and key not in available.get(fk.ref_table, set()):
+                        missing = fk
+                        break
+                if missing is None:
+                    still.append(event)
+                else:
+                    unresolved.append(event)
+                    moved = True
+            appliable = still
+            if not moved:
+                break
+        return appliable, duplicates, unresolved
+
+    # -- application ----------------------------------------------------
+    def apply(self, events: List[RowEvent]) -> DeltaReport:
+        """Append ``events`` to the database and graph, incrementally.
+
+        Events must be validated and screened (strict: a duplicate key
+        raises :class:`EventValidationError`, an unresolved reference
+        raises :class:`UnresolvedReferenceError`).  Returns the
+        :class:`DeltaReport` the refresh layer consumes.
+        """
+        appliable, duplicates, unresolved = self.screen(events)
+        if duplicates:
+            event, reason = duplicates[0]
+            raise EventValidationError(event.table, reason)
+        if unresolved:
+            event = unresolved[0]
+            schema = self.db[event.table].schema
+            for fk in schema.foreign_keys:
+                key = event.values[fk.column]
+                if key is not None and key not in self._key_to_index.get(fk.ref_table, {}):
+                    raise UnresolvedReferenceError(event.table, fk.column, key)
+            raise UnresolvedReferenceError(event.table, "?", None)
+
+        grouped: Dict[str, List[RowEvent]] = {}
+        for event in events:
+            grouped.setdefault(event.table, []).append(event)
+
+        report = DeltaReport(watermark=self.watermark, num_events=len(events))
+        touched: Dict[str, List[np.ndarray]] = {}
+        old_counts = {name: self.graph.num_nodes(name) for name in self.graph.node_types}
+        min_time: Optional[int] = None
+        has_static = False
+
+        # Pass 1 — grow tables and node types (mirrors build_graph's
+        # first loop: nodes before any edge, so same-batch foreign keys
+        # resolve regardless of table order).
+        grown: Dict[str, Table] = {}
+        for table in self.db:
+            batch = grouped.get(table.name)
+            if not batch:
+                continue
+            schema = table.schema
+            data = {
+                name: [event.values.get(name) for event in batch]
+                for name in schema.column_names
+            }
+            delta = Table(
+                schema,
+                {
+                    name: Column(data[name], schema.dtype_of(name))
+                    for name in schema.column_names
+                },
+            )
+            new_table = table.append(delta)
+            self.db.add_table(new_table, replace=True)
+            grown[table.name] = new_table
+
+            start = old_counts[table.name]
+            if schema.time_column is not None:
+                raw = new_table[schema.time_column]
+                new_times = np.where(
+                    raw.null_mask(), TIME_MIN, raw.values.astype(np.int64)
+                )[start:]
+                batch_min = int(new_times.min())
+                min_time = batch_min if min_time is None else min(min_time, batch_min)
+                stamped = new_times[new_times != TIME_MIN]
+                if len(stamped):
+                    high = int(stamped.max())
+                    self.watermark = high if self.watermark is None else max(self.watermark, high)
+            else:
+                new_times = np.full(len(batch), TIME_MIN, dtype=np.int64)
+                has_static = True
+            self.graph.grow_node_type(table.name, new_times)
+            report.new_nodes[table.name] = len(batch)
+            touched.setdefault(table.name, []).append(
+                np.arange(start, start + len(batch), dtype=np.int64)
+            )
+
+            pk = schema.primary_key
+            if pk is not None:
+                keys = new_table[pk].values
+                self.graph.node_keys[table.name] = keys
+                mapping = self._key_to_index[table.name]
+                for offset, key in enumerate(keys[start:].tolist()):
+                    mapping[key] = start + offset
+            if table.name in self.graph.features:
+                self.graph.features[table.name] = self._grower.grow(
+                    new_table, self.graph.features[table.name]
+                )
+
+        # Pass 2 — append edges (mirrors build_graph's second loop).
+        for table_name, new_table in grown.items():
+            schema = new_table.schema
+            start = old_counts[table_name]
+            if schema.time_column is not None:
+                raw = new_table[schema.time_column]
+                child_times = np.where(
+                    raw.null_mask(), TIME_MIN, raw.values.astype(np.int64)
+                )
+            else:
+                child_times = None
+            for fk in schema.foreign_keys:
+                column = new_table[fk.column]
+                valid = ~column.null_mask()
+                valid[:start] = False
+                child_rows = np.flatnonzero(valid)
+                if not len(child_rows):
+                    continue
+                mapping = self._key_to_index[fk.ref_table]
+                parent_rows = np.fromiter(
+                    (mapping[key] for key in column.values[child_rows].tolist()),
+                    dtype=np.int64,
+                    count=len(child_rows),
+                )
+                edge_times = (
+                    child_times[child_rows]
+                    if child_times is not None
+                    else np.full(len(child_rows), TIME_MIN, dtype=np.int64)
+                )
+                forward = EdgeType(table_name, fk.column, fk.ref_table)
+                self.graph.append_edges(forward, child_rows, parent_rows, times=edge_times)
+                self.graph.append_edges(
+                    forward.reverse(), parent_rows, child_rows, times=edge_times
+                )
+                report.new_edges += 2 * len(child_rows)
+                touched.setdefault(fk.ref_table, []).append(np.unique(parent_rows))
+
+        report.touched = {
+            name: np.unique(np.concatenate(parts)) for name, parts in touched.items()
+        }
+        report.min_event_time = (
+            TIME_MIN if has_static or min_time is None else int(min_time)
+        )
+        report.watermark = self.watermark
+        fractions = [
+            len(ids[ids < old_counts.get(name, 0)]) / old_counts[name]
+            for name, ids in report.touched.items()
+            if old_counts.get(name, 0) > 0
+        ]
+        report.touched_fraction = float(max(fractions)) if fractions else 0.0
+        registry = get_registry()
+        registry.counter("ingest.events_applied").inc(len(events))
+        registry.counter("ingest.edges_appended").inc(report.new_edges)
+        return report

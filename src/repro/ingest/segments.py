@@ -1,0 +1,281 @@
+"""Crash-safe, time-partitioned segment log for ingest events.
+
+Layout under the log root::
+
+    MANIFEST.json              the single commit point (atomic rename)
+    base-000/                  full database snapshot (CSV + schema)
+    segments/
+      seg-<partition>-<seq>.jsonl   committed event batches
+
+``MANIFEST.json`` names the current base snapshot and the committed
+segment files in apply order.  Every mutation follows the same
+protocol: write new files (temp + fsync + rename), then commit the
+manifest atomically.  A crash at any point leaves either the old
+manifest (new files are orphans, deleted on reopen) or the new one
+(the mutation is complete) — never a partial state.  The
+``ingest.segment.commit`` and ``ingest.compact.commit`` fault points
+sit exactly on those seams so the chaos suite can land kills inside
+the crash windows.
+
+Compaction replays every committed segment onto the base snapshot and
+writes the result as the next ``base-NNN`` directory; after the
+manifest commit the old base and the merged segments are deleted.
+Replaying the compacted log yields a database identical to replaying
+the uncompacted one, which is what makes compaction invisible to the
+graph layer (see ``tests/test_ingest_differential.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Dict, List, Optional
+
+from repro.ingest.events import RowEvent, validate_event
+from repro.obs import get_logger, get_registry
+from repro.relational.column import Column
+from repro.relational.csvio import load_database, save_database
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.resilience.checkpoint import atomic_write_json
+from repro.resilience.faults import fault_point
+
+__all__ = ["SegmentLog", "apply_events_to_database"]
+
+_MANIFEST = "MANIFEST.json"
+_SEGMENT_DIR = "segments"
+#: Default segment partition width: one day of event time.
+DEFAULT_PARTITION_SECONDS = 86400
+
+_log = get_logger("ingest.segments")
+
+
+def apply_events_to_database(db: Database, events: List[RowEvent]) -> Database:
+    """Append validated ``events`` to ``db``'s tables, in order.
+
+    Returns a new :class:`Database` (tables are immutable; untouched
+    tables are shared).  Row order within each table is base rows
+    first, then events in list order — the same order the delta
+    builder applies, so a cold graph build over the result matches the
+    incrementally maintained graph bit-for-bit.
+    """
+    grouped: Dict[str, List[RowEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.table, []).append(event)
+    out = Database(name=db.name)
+    for table in db:
+        batch = grouped.pop(table.name, None)
+        if not batch:
+            out.add_table(table)
+            continue
+        schema = table.schema
+        data = {
+            name: [event.values.get(name) for event in batch]
+            for name in schema.column_names
+        }
+        delta = Table(
+            schema,
+            {
+                name: Column(data[name], schema.dtype_of(name))
+                for name in schema.column_names
+            },
+        )
+        out.add_table(table.append(delta))
+    if grouped:
+        raise KeyError(f"events for unknown tables: {sorted(grouped)}")
+    return out
+
+
+class SegmentLog:
+    """Append-only event log with an atomic manifest commit point."""
+
+    def __init__(self, root: str, manifest: dict) -> None:
+        self.root = root
+        self._manifest = manifest
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, root: str, db: Database) -> "SegmentLog":
+        """Initialize a log at ``root`` from a full database snapshot."""
+        os.makedirs(root, exist_ok=True)
+        if os.path.exists(os.path.join(root, _MANIFEST)):
+            raise FileExistsError(f"segment log already exists at {root!r}")
+        base = "base-000"
+        save_database(db, os.path.join(root, base))
+        os.makedirs(os.path.join(root, _SEGMENT_DIR), exist_ok=True)
+        manifest = {
+            "base": base,
+            "segments": [],
+            "watermark": None,
+            "next_seq": 0,
+        }
+        atomic_write_json(os.path.join(root, _MANIFEST), manifest)
+        return cls(root, manifest)
+
+    @classmethod
+    def open(cls, root: str) -> "SegmentLog":
+        """Open an existing log, cleaning up any uncommitted leftovers.
+
+        Recovery is a pure function of the manifest: segment files not
+        named by it (a batch written but never committed) and ``*.tmp``
+        staging files/directories are deleted; base directories other
+        than the committed one (a compaction that never committed) are
+        removed.  The surviving state is exactly the last committed
+        one.
+        """
+        with open(os.path.join(root, _MANIFEST), "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        committed = set(manifest["segments"])
+        seg_dir = os.path.join(root, _SEGMENT_DIR)
+        os.makedirs(seg_dir, exist_ok=True)
+        removed = 0
+        for name in os.listdir(seg_dir):
+            if name not in committed:
+                os.unlink(os.path.join(seg_dir, name))
+                removed += 1
+        for name in os.listdir(root):
+            path = os.path.join(root, name)
+            if name.endswith(".tmp"):
+                shutil.rmtree(path) if os.path.isdir(path) else os.unlink(path)
+                removed += 1
+            elif name.startswith("base-") and os.path.isdir(path) and name != manifest["base"]:
+                shutil.rmtree(path)
+                removed += 1
+        if removed:
+            get_registry().counter("ingest.recovered_orphans").inc(removed)
+            _log.warning(
+                "removed uncommitted ingest files", extra={"root": root, "removed": removed}
+            )
+        return cls(root, manifest)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def watermark(self) -> Optional[int]:
+        """Largest committed event timestamp (``None`` before any)."""
+        return self._manifest["watermark"]
+
+    @property
+    def segments(self) -> List[str]:
+        """Committed segment file names, in apply order."""
+        return list(self._manifest["segments"])
+
+    @property
+    def base_name(self) -> str:
+        """Directory name of the current base snapshot."""
+        return self._manifest["base"]
+
+    # -- reads ----------------------------------------------------------
+    def load_base(self) -> Database:
+        """The committed base snapshot as a database."""
+        return load_database(os.path.join(self.root, self._manifest["base"]))
+
+    def segment_events(self, name: str) -> List[RowEvent]:
+        """Parse one committed segment file into events."""
+        events = []
+        with open(os.path.join(self.root, _SEGMENT_DIR, name), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(RowEvent.from_dict(json.loads(line)))
+        return events
+
+    def replay(self) -> Database:
+        """Base snapshot plus every committed segment, in order."""
+        db = self.load_base()
+        schemas = {table.name: table.schema for table in db}
+        for name in self._manifest["segments"]:
+            events = [
+                validate_event(event, schemas[event.table])
+                for event in self.segment_events(name)
+            ]
+            db = apply_events_to_database(db, events)
+        return db
+
+    # -- writes ---------------------------------------------------------
+    def _partition(self, events: List[RowEvent], partition_seconds: int) -> str:
+        stamped = [e.timestamp for e in events if e.timestamp is not None]
+        if not stamped:
+            return "static"
+        return f"{min(stamped) // partition_seconds:08d}"
+
+    def append(
+        self, events: List[RowEvent], partition_seconds: int = DEFAULT_PARTITION_SECONDS
+    ) -> str:
+        """Durably commit one batch of validated events; returns the
+        segment file name.
+
+        The segment is written and fsynced first; the manifest commit
+        (after the ``ingest.segment.commit`` fault point) is what makes
+        it real.  A crash before the commit leaves an orphan that
+        :meth:`open` deletes.
+        """
+        if not events:
+            raise ValueError("cannot append an empty event batch")
+        seq = self._manifest["next_seq"]
+        name = f"seg-{self._partition(events, partition_seconds)}-{seq:06d}.jsonl"
+        path = os.path.join(self.root, _SEGMENT_DIR, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        stamped = [e.timestamp for e in events if e.timestamp is not None]
+        watermark = self._manifest["watermark"]
+        if stamped:
+            watermark = max(stamped) if watermark is None else max(watermark, max(stamped))
+        manifest = dict(self._manifest)
+        manifest["segments"] = self._manifest["segments"] + [name]
+        manifest["watermark"] = watermark
+        manifest["next_seq"] = seq + 1
+        fault_point("ingest.segment.commit")
+        atomic_write_json(os.path.join(self.root, _MANIFEST), manifest)
+        self._manifest = manifest
+        get_registry().counter("ingest.segments_committed").inc()
+        get_registry().counter("ingest.events_committed").inc(len(events))
+        return name
+
+    def compact(self) -> str:
+        """Merge every committed segment into a new base snapshot.
+
+        Replays the log, writes the result as the next ``base-NNN``
+        directory (staged under ``.tmp``, renamed before the commit),
+        commits the manifest (after the ``ingest.compact.commit``
+        fault point), then deletes the old base and the merged
+        segments.  Compacting an empty log (no segments) is a no-op
+        that still rolls the base forward, exercising the
+        empty-segment path.  Returns the new base name.
+        """
+        merged = self.replay()
+        old_base = self._manifest["base"]
+        new_base = f"base-{int(old_base.split('-')[1]) + 1:03d}"
+        staging = os.path.join(self.root, new_base + ".tmp")
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        save_database(merged, staging)
+        final = os.path.join(self.root, new_base)
+        if os.path.exists(final):
+            shutil.rmtree(final)
+        os.rename(staging, final)
+        merged_segments = list(self._manifest["segments"])
+        manifest = dict(self._manifest)
+        manifest["base"] = new_base
+        manifest["segments"] = []
+        fault_point("ingest.compact.commit")
+        atomic_write_json(os.path.join(self.root, _MANIFEST), manifest)
+        self._manifest = manifest
+        for name in merged_segments:
+            path = os.path.join(self.root, _SEGMENT_DIR, name)
+            if os.path.exists(path):
+                os.unlink(path)
+        old_path = os.path.join(self.root, old_base)
+        if os.path.exists(old_path):
+            shutil.rmtree(old_path)
+        get_registry().counter("ingest.compactions").inc()
+        _log.info(
+            "compacted segment log",
+            extra={"root": self.root, "base": new_base, "merged_segments": len(merged_segments)},
+        )
+        return new_base

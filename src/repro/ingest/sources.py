@@ -1,0 +1,131 @@
+"""Pluggable event sources: where row events come from.
+
+Two built-in sources cover the common shapes:
+
+* :class:`InProcessSource` — an in-process API for application code
+  (and tests) to emit events directly.
+* :class:`CSVDropSource` — a drop-directory watcher: files named
+  ``<table>*.csv`` appear in a directory, each row becomes one event,
+  and processed files are renamed with an ``.ingested`` suffix so a
+  restart never double-applies them.  Parsing reuses the CSV loader's
+  row parser, so null tokens, dtype coercion, and malformed-row
+  errors behave exactly like a snapshot load; malformed rows are
+  quarantined (counted, never applied) rather than failing the poll.
+
+Both produce :class:`~repro.ingest.events.RowEvent` batches for an
+:class:`~repro.ingest.pipeline.IngestPipeline`; anything with a
+``poll() -> List[RowEvent]`` method can stand in for them.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List
+
+from repro.ingest.events import RowEvent
+from repro.obs import get_logger, get_registry
+from repro.relational.csvio import MalformedRowError, _parse_row
+from repro.relational.schema import TableSchema
+
+__all__ = ["InProcessSource", "CSVDropSource"]
+
+_log = get_logger("ingest.sources")
+
+
+class InProcessSource:
+    """Buffer events emitted by in-process code; drain via :meth:`poll`."""
+
+    def __init__(self) -> None:
+        self._buffer: List[RowEvent] = []
+
+    def emit(self, table: str, **values) -> RowEvent:
+        """Queue one event (column values as keyword arguments)."""
+        event = RowEvent(table=table, values=values)
+        self._buffer.append(event)
+        return event
+
+    def emit_event(self, event: RowEvent) -> None:
+        """Queue an already-constructed event."""
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def poll(self) -> List[RowEvent]:
+        """All buffered events, clearing the buffer."""
+        out, self._buffer = self._buffer, []
+        return out
+
+
+class CSVDropSource:
+    """Watch a drop directory for per-table CSV files.
+
+    A file ``<table>.csv`` or ``<table>-<anything>.csv`` holds new
+    rows for ``<table>``, header required and matching the schema's
+    column order.  Files are consumed in sorted name order (drop files
+    with sortable names — e.g. ``events-000.csv`` — for a defined
+    order) and renamed to ``<name>.ingested`` once read.
+    """
+
+    PROCESSED_SUFFIX = ".ingested"
+
+    def __init__(self, directory: str, schemas: Dict[str, TableSchema]) -> None:
+        self.directory = directory
+        self.schemas = dict(schemas)
+        os.makedirs(directory, exist_ok=True)
+
+    def _table_for(self, filename: str) -> str:
+        stem = filename[: -len(".csv")]
+        if stem in self.schemas:
+            return stem
+        for name in self.schemas:
+            if stem.startswith(name + "-"):
+                return name
+        raise KeyError(f"drop file {filename!r} matches no known table")
+
+    def pending_files(self) -> List[str]:
+        """Unprocessed ``.csv`` files, in sorted name order."""
+        return sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.endswith(".csv") and not name.endswith(self.PROCESSED_SUFFIX)
+        )
+
+    def _read_file(self, filename: str) -> List[RowEvent]:
+        table = self._table_for(filename)
+        schema = self.schemas[table]
+        dtypes = [schema.dtype_of(name) for name in schema.column_names]
+        events: List[RowEvent] = []
+        quarantined = 0
+        path = os.path.join(self.directory, filename)
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != schema.column_names:
+                raise MalformedRowError(
+                    table, 1, None,
+                    f"drop-file header {header} does not match schema {schema.column_names}",
+                )
+            for row_number, row in enumerate(reader, start=2):
+                try:
+                    values = _parse_row(table, row_number, header, dtypes, row)
+                except MalformedRowError as err:
+                    quarantined += 1
+                    _log.warning("quarantined malformed drop row", extra={
+                        "file": filename, "row": row_number, "error": str(err),
+                    })
+                    continue
+                events.append(RowEvent(table=table, values=dict(zip(header, values))))
+        if quarantined:
+            get_registry().counter("ingest.quarantined_rows").inc(quarantined)
+        return events
+
+    def poll(self) -> List[RowEvent]:
+        """Read every pending drop file, marking each as processed."""
+        events: List[RowEvent] = []
+        for filename in self.pending_files():
+            events.extend(self._read_file(filename))
+            path = os.path.join(self.directory, filename)
+            os.replace(path, path + self.PROCESSED_SUFFIX)
+        return events

@@ -255,6 +255,21 @@ class PredictiveQueryPlanner:
         self._plan_cache[text] = binding
         return binding
 
+    def notify_delta(self, report) -> int:
+        """Ingest-refresh hook: revalidate the plan cache after a delta.
+
+        Bindings depend only on the schema, and append-only ingest
+        never changes it, so every cached plan survives — the point of
+        this hook is to make that decision *observable* (the
+        ``planner.plan_cache.retained_after_delta`` counter feeds the
+        selective-invalidation evidence in ``BENCH_ingest.json``)
+        rather than conservatively flushing.  Returns the retained
+        count.
+        """
+        retained = len(self._plan_cache)
+        get_registry().counter("planner.plan_cache.retained_after_delta").inc(retained)
+        return retained
+
     def _run_stage(self, name: str, fn):
         """Run one compile stage under the configured retry/budget policy."""
         if self.resilience is None:

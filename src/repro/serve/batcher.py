@@ -147,6 +147,7 @@ class _Request:
     queue_wait_ms: float = 0.0   # stamped when the batch forms
     context: Any = None          # opaque; captured at admission
     route: Optional[str] = None  # forced execution tier, or None
+    barrier: Optional[Callable[[], Any]] = None  # exclusive callable, no coalesce
     future: ResponseFuture = field(default_factory=ResponseFuture)
 
     def expired(self, now: float) -> bool:
@@ -159,7 +160,10 @@ class _Request:
         different model slots must never coalesce, or a hot swap would
         answer an in-flight request with the wrong model.  Routes must
         match too — a batch is one model call, executed on one tier.
+        Barrier requests never share a batch with anything.
         """
+        if self.barrier is not None or other.barrier is not None:
+            return False
         return (
             self.op == other.op
             and self.k == other.k
@@ -270,6 +274,33 @@ class MicroBatcher:
         registry.counter("serve.requests").inc()
         registry.counter("serve.rows").inc(len(entity_keys))
         return request.future
+
+    def run_barrier(self, fn: Callable[[], Any], timeout: Optional[float] = 30.0) -> Any:
+        """Run ``fn`` on the worker thread, exclusive of any batch.
+
+        The barrier enters the queue like a request but never
+        coalesces: every batch admitted before it fully executes
+        first, every request admitted after it executes against
+        whatever state ``fn`` left behind.  This is the micro-batch
+        seam the ingest layer uses to swap a refreshed graph into the
+        serving path without answering any request half-old/half-new.
+        Blocks until ``fn`` has run and returns its result
+        (re-raising its exception).
+        """
+        request = _Request(
+            op="predict", entity_keys=np.empty(0, dtype=np.int64),
+            cutoffs=np.empty(0, dtype=np.int64), k=0, deadline=None,
+            request_id="barrier", barrier=fn,
+        )
+        request.future.submitted_at = time.monotonic()
+        request.future.request_id = request.request_id
+        with self._nonempty:
+            if self._closed:
+                raise ServiceClosedError("service is closed; barrier not admitted")
+            self._queue.append(request)
+            self._nonempty.notify()
+        get_registry().counter("serve.barriers").inc()
+        return request.future.result(timeout)
 
     def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
         """Stop the worker.  ``drain=True`` answers queued requests first;
@@ -388,6 +419,15 @@ class MicroBatcher:
 
     def _execute(self, batch: List[_Request]) -> None:
         registry = get_registry()
+        if len(batch) == 1 and batch[0].barrier is not None:
+            # Exclusive barrier: no prior batch is in flight (this is
+            # the worker thread) and nothing coalesced with it.
+            request = batch[0]
+            try:
+                request.future._finish(value=request.barrier())
+            except Exception as err:
+                request.future._finish(error=err)
+            return
         telemetry = self.telemetry
         # (request_id, latency_ms, ok) for every request this batch
         # resolves, fed to the SLO window in one call at the end.

@@ -607,6 +607,29 @@ class PredictionService:
         )
         return transition
 
+    def refresh_graph(self, apply_fn, reason: str = "ingest graph refresh"):
+        """Apply an ingest refresh on the micro-batch seam, zero downtime.
+
+        ``apply_fn()`` runs on the batcher's worker thread as an
+        exclusive barrier: every batch admitted before the refresh
+        executes against the pre-delta graph, every request admitted
+        after it sees the refreshed one, and no single batch ever
+        straddles the mutation.  This is how the ingest pipeline's
+        in-place graph growth (``DeltaGraphBuilder.apply`` +
+        ``refresh_model``) reaches a live service safely.  Records a
+        ``graph_refreshed`` provenance event and returns ``apply_fn``'s
+        result.
+        """
+        result = self._batcher.run_barrier(apply_fn)
+        self.telemetry.record_event("graph_refreshed", reason)
+        self._transitions.append({
+            "kind": "graph_refreshed",
+            "time": time.time(),
+            "reason": reason,
+        })
+        _log.info("graph refreshed between micro-batches", extra={"reason": reason})
+        return result
+
     # ------------------------------------------------------------------
     # Canary
     # ------------------------------------------------------------------

@@ -9,14 +9,18 @@ Covered sources:
 
 * ``docs/tutorial.md``       — all blocks, run sequentially in one
   shared namespace (the tutorial is one program told in steps);
-* ``README.md``              — the quickstart block, standalone;
+* ``README.md``              — the quickstart and streaming-ingest
+  blocks, each standalone;
 * ``docs/serving.md``        — all blocks, run sequentially in one
   shared namespace (quickstart, then the hot-swap + canary lifecycle
   walkthrough that continues it);
 * ``docs/observability.md``  — all blocks (spans, metrics, serving
   telemetry, logging), run sequentially in one shared namespace;
 * ``docs/performance.md``    — the cost-routing EXPLAIN ANALYZE
-  walkthrough (fit the tier ladder, route a call, read the decision).
+  walkthrough (fit the tier ladder, route a call, read the decision);
+* ``docs/ingest.md``         — the streaming walkthrough (snapshot →
+  stream a day → query before/after → compact), run sequentially in
+  one shared namespace.
 
 Blocks that write files do so relative to the current directory, so
 every test runs chdir'd into a tmp dir.
@@ -31,7 +35,7 @@ from typing import List
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-MIN_SNIPPETS = 5  # acceptance floor: at least this many snippets execute
+MIN_SNIPPETS = 24  # acceptance floor: at least this many snippets execute
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -68,6 +72,15 @@ def test_readme_quickstart_runs(tmp_path, monkeypatch):
     run_blocks("README.md", blocks[:1])
 
 
+def test_readme_streaming_quickstart_runs(tmp_path, monkeypatch):
+    """The ingest quickstart is standalone: snapshot → event → delta."""
+    monkeypatch.chdir(tmp_path)
+    blocks = python_blocks("README.md")
+    assert len(blocks) >= 2, "README lost its streaming quickstart"
+    run_blocks("README.md", blocks[1:2])
+    assert (tmp_path / "ingest_log" / "MANIFEST.json").exists()
+
+
 def test_serving_walkthrough_runs(tmp_path, monkeypatch):
     """Quickstart + hot-swap + canary blocks compose into one program."""
     monkeypatch.chdir(tmp_path)
@@ -96,14 +109,26 @@ def test_performance_routing_snippet_runs(tmp_path, monkeypatch):
     run_blocks("docs/performance.md", blocks)
 
 
+def test_ingest_walkthrough_runs(tmp_path, monkeypatch):
+    """Snapshot → stream → query before/after → compact, end to end."""
+    monkeypatch.chdir(tmp_path)
+    blocks = python_blocks("docs/ingest.md")
+    assert len(blocks) >= 7, "ingest guide lost its streaming walkthrough"
+    run_blocks("docs/ingest.md", blocks)
+    # Block 2 creates the durable log; block 7 compacts it in place.
+    assert (tmp_path / "ingest_log" / "MANIFEST.json").exists()
+    assert (tmp_path / "ingest_log" / "base-001").exists()
+
+
 def test_snippet_floor():
     """≥MIN_SNIPPETS snippets are exercised verbatim across the docs."""
     total = (
         len(python_blocks("docs/tutorial.md"))
-        + len(python_blocks("README.md")[:1])
+        + len(python_blocks("README.md")[:2])
         + len(python_blocks("docs/serving.md"))
         + len(python_blocks("docs/observability.md"))
         + len(python_blocks("docs/performance.md"))
+        + len(python_blocks("docs/ingest.md"))
     )
     assert total >= MIN_SNIPPETS, f"only {total} doc snippets are executed"
 

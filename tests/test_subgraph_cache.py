@@ -10,6 +10,7 @@ import pytest
 
 from repro.graph import NeighborSampler, build_graph
 from repro.graph.cache import (
+    KEY_PREFIX_LEN,
     CachedSampler,
     LRUSubgraphCache,
     batch_rng_seed,
@@ -142,16 +143,20 @@ class TestBatchKey:
         }
         assert len(keys) == 4
 
-    def test_rng_seed_matches_key_prefix(self):
+    def test_rng_seed_matches_key_digest_half(self):
         g = self.graph()
         sampler = CachedSampler(make_sampler(g), base_seed=7)
         ids, times = np.array([1]), np.array([500])
         key = sampler.batch_key("customers", ids, times)
         derived = batch_rng_seed(
-            graph_fingerprint(g), "reference", sampler.fanouts, True, 7,
+            "reference", sampler.fanouts, True, 7,
             "customers", ids, times,
         )
-        assert int.from_bytes(key[:8], "little") == derived
+        # 32-byte composite key: fingerprint prefix + batch digest; the
+        # RNG seed comes from the digest half only.
+        assert len(key) == KEY_PREFIX_LEN + 16
+        assert key[:KEY_PREFIX_LEN] == bytes.fromhex(graph_fingerprint(g))
+        assert int.from_bytes(key[KEY_PREFIX_LEN : KEY_PREFIX_LEN + 8], "little") == derived
 
 
 class TestCachedSamplerDeterminism:
